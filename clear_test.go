@@ -1,0 +1,82 @@
+package clear
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicAPISurface(t *testing.T) {
+	if len(Benchmarks()) != 18 {
+		t.Fatalf("Benchmarks() = %d", len(Benchmarks()))
+	}
+	if BenchmarkByName("gzip") == nil || BenchmarkByName("none") != nil {
+		t.Fatal("BenchmarkByName broken")
+	}
+	if got := len(Enumerate(InO)) + len(Enumerate(OoO)); got != 586 {
+		t.Fatalf("Enumerate total %d, want 586", got)
+	}
+	if len(Experiments()) != 33 {
+		t.Fatalf("Experiments() = %d, want 33", len(Experiments()))
+	}
+	if _, err := RunExperiment("no-such-id"); err == nil {
+		t.Fatal("RunExperiment should reject unknown ids")
+	}
+}
+
+func TestPublicInjection(t *testing.T) {
+	b := BenchmarkByName("inner_product")
+	p, err := b.Program()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCore(InO, p)
+	res := c.Run(1_000_000)
+	if len(res.Output) == 0 {
+		t.Fatal("no output")
+	}
+	nom := res.Steps
+	// injecting into a vanish-prone status register mostly vanishes;
+	// injecting into the operand latch does not always
+	seen := map[InjectionOutcome]bool{}
+	for cycle := 10; cycle < nom; cycle += nom / 20 {
+		for bit := 0; bit < c.SpaceOf().NumBits(); bit += 97 {
+			seen[InjectOne(InO, p, bit, cycle, nom)] = true
+		}
+		if len(seen) >= 3 {
+			break
+		}
+	}
+	if !seen[Vanished] {
+		t.Fatal("no vanished outcomes at all")
+	}
+	if len(seen) < 2 {
+		t.Fatal("injection produced only one outcome class")
+	}
+}
+
+func TestPublicComboEval(t *testing.T) {
+	t.Setenv("CLEAR_CACHE_DIR", t.TempDir())
+	eng := NewEngine(InO)
+	eng.SamplesBase, eng.SamplesTech = 1, 1
+	combo := Combo{DICE: true, Parity: true, Recovery: RecFlush}
+	out, err := eng.EvalCombo(BenchmarkByName("inner_product"), combo, SDC, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.TargetMet || out.Cost.Energy() <= 0 {
+		t.Fatalf("outcome %+v", out)
+	}
+	if math.IsNaN(out.SDCImp) {
+		t.Fatal("NaN improvement")
+	}
+}
+
+func TestRunExperimentCampaignFree(t *testing.T) {
+	out, err := RunExperiment("table4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) < 100 {
+		t.Fatalf("table4 output too small: %q", out)
+	}
+}

@@ -1,0 +1,141 @@
+// Command clearsweep runs the full cross-layer exploration: all 586
+// combinations on both cores at a target improvement, printing each
+// combination's achieved improvements and costs plus the Pareto-optimal
+// set — the sweep behind the paper's Fig. 1d and its "which cross-layer
+// solutions are best" conclusions.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"sort"
+	"time"
+
+	"clear/internal/bench"
+	"clear/internal/core"
+	"clear/internal/inject"
+)
+
+func main() {
+	target := flag.Float64("target", 50, "SDC improvement target (0 = max)")
+	coreName := flag.String("core", "InO", "core design: InO or OoO")
+	benchName := flag.String("bench", "", "evaluate on a single benchmark (default: average all)")
+	topN := flag.Int("top", 25, "print the N cheapest combinations")
+	quick := flag.Bool("quick", false, "reduced sampling")
+	flag.Parse()
+
+	kind := inject.InO
+	if *coreName == "OoO" {
+		kind = inject.OoO
+	}
+	e := core.NewEngine(kind)
+	if *quick {
+		e.SamplesBase, e.SamplesTech = 1, 1
+	}
+	tgt := *target
+	if tgt == 0 {
+		tgt = math.Inf(1)
+	}
+
+	var benches []*bench.Benchmark
+	if *benchName != "" {
+		b := bench.ByName(*benchName)
+		if b == nil {
+			log.Fatalf("unknown benchmark %q", *benchName)
+		}
+		benches = []*bench.Benchmark{b}
+	} else {
+		benches = e.Benchmarks()
+	}
+
+	var rows []sweepRow
+	t0 := time.Now()
+	combos := core.Enumerate(kind)
+	log.Printf("evaluating %d combinations on %d benchmark(s) at %sx SDC target...",
+		len(combos), len(benches), fmtTarget(tgt))
+	for i, c := range combos {
+		var sdcInv, dueInv, energy, area float64
+		met := true
+		n := 0
+		for _, b := range benches {
+			out, err := e.EvalCombo(b, c, core.SDC, tgt)
+			if err != nil {
+				log.Fatalf("%s: %v", c.Name(), err)
+			}
+			sdcInv += inv(out.SDCImp)
+			dueInv += inv(out.DUEImp)
+			energy += out.Cost.Energy()
+			area += out.Cost.Area
+			met = met && out.TargetMet
+			n++
+		}
+		fn := float64(n)
+		rows = append(rows, sweepRow{
+			name:   c.Name(),
+			sdcImp: fn / sdcInv, dueImp: fn / dueInv,
+			energy: energy / fn, area: area / fn,
+			met: met,
+		})
+		if (i+1)%50 == 0 {
+			log.Printf("  %d/%d done (%s elapsed)", i+1, len(combos), time.Since(t0).Round(time.Second))
+		}
+	}
+
+	sort.Slice(rows, func(i, j int) bool { return rows[i].energy < rows[j].energy })
+	fmt.Printf("\ncheapest combinations meeting a %sx SDC target on %s:\n", fmtTarget(tgt), kind)
+	fmt.Printf("%-58s %10s %10s %8s %8s %s\n", "combination", "SDC imp", "DUE imp", "area", "energy", "met")
+	printed := 0
+	for _, r := range rows {
+		if !r.met {
+			continue
+		}
+		fmt.Printf("%-58s %10s %10s %7.1f%% %7.1f%% %v\n",
+			r.name, fmtImp(r.sdcImp), fmtImp(r.dueImp), 100*r.area, 100*r.energy, r.met)
+		printed++
+		if printed >= *topN {
+			break
+		}
+	}
+	fmt.Printf("\n%d of %d combinations met the target; total sweep time %s\n",
+		countMet(rows), len(rows), time.Since(t0).Round(time.Second))
+}
+
+func inv(v float64) float64 {
+	if math.IsInf(v, 1) || v <= 0 {
+		return 1e-9
+	}
+	return 1 / v
+}
+
+type sweepRow struct {
+	name           string
+	sdcImp, dueImp float64
+	energy, area   float64
+	met            bool
+}
+
+func countMet(rows []sweepRow) int {
+	n := 0
+	for _, r := range rows {
+		if r.met {
+			n++
+		}
+	}
+	return n
+}
+
+func fmtTarget(v float64) string {
+	if math.IsInf(v, 1) {
+		return "max"
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+func fmtImp(v float64) string {
+	if math.IsInf(v, 1) {
+		return "max"
+	}
+	return fmt.Sprintf("%.1fx", v)
+}

@@ -1,0 +1,99 @@
+// Command faultinject runs a flip-flop soft-error injection campaign for
+// one (core, benchmark, technique) configuration and prints the outcome
+// distribution and the most vulnerable flip-flop structures.
+//
+//	faultinject -core InO -bench gzip -samples 4
+//	faultinject -core OoO -bench mcf -dfc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"clear/internal/bench"
+	"clear/internal/core"
+	"clear/internal/inject"
+	"clear/internal/stats"
+)
+
+func main() {
+	coreName := flag.String("core", "InO", "core design: InO or OoO")
+	benchName := flag.String("bench", "gzip", "benchmark name")
+	samples := flag.Int("samples", 4, "injections per flip-flop")
+	dfc := flag.Bool("dfc", false, "attach the DFC checker")
+	monitor := flag.Bool("monitor", false, "attach the monitor core")
+	top := flag.Int("top", 10, "show the N most vulnerable structures")
+	flag.Parse()
+
+	kind := inject.InO
+	if *coreName == "OoO" {
+		kind = inject.OoO
+	}
+	b := bench.ByName(*benchName)
+	if b == nil {
+		log.Fatalf("unknown benchmark %q (have: %v)", *benchName, bench.Names())
+	}
+	e := core.NewEngine(kind)
+	e.SamplesBase = *samples
+	e.SamplesTech = *samples
+	v := core.Variant{DFC: *dfc, Monitor: *monitor}
+
+	res, err := e.Campaign(b, v)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tot := res.Totals
+	fmt.Printf("%s / %s / %s: %d injections over %d flip-flops, nominal %d cycles\n",
+		kind, b.Name, v.Tag(), tot.N, len(res.PerFF), res.NomCycles)
+	show := func(name string, n int) {
+		p := float64(n) / float64(tot.N)
+		moe := stats.MarginOfError(p, tot.N, 1.96)
+		fmt.Printf("  %-9s %6d  (%.2f%% ± %.2f%%)\n", name, n, 100*p, 100*moe)
+	}
+	show("Vanished", tot.Vanished)
+	show("OMM", tot.OMM)
+	show("UT", tot.UT)
+	show("Hang", tot.Hang)
+	show("ED", tot.ED)
+	fmt.Printf("  SDC-causing: %d, DUE-causing: %d\n", tot.SDC(), tot.DUE())
+	if res.DetN > 0 {
+		fmt.Printf("  mean detection latency: %.0f cycles over %d detections\n",
+			float64(res.DetLatSum)/float64(res.DetN), res.DetN)
+	}
+
+	// most vulnerable structures
+	type structStats struct {
+		name        string
+		n, sdc, due int
+	}
+	byStruct := map[string]*structStats{}
+	for bit, st := range res.PerFF {
+		name, _ := e.Space.NameOf(bit)
+		s := byStruct[name]
+		if s == nil {
+			s = &structStats{name: name}
+			byStruct[name] = s
+		}
+		s.n += int(st.N)
+		s.sdc += int(st.OMM)
+		s.due += int(st.UT) + int(st.Hang) + int(st.ED)
+	}
+	var list []*structStats
+	for _, s := range byStruct {
+		list = append(list, s)
+	}
+	sort.Slice(list, func(i, j int) bool {
+		return list[i].sdc+list[i].due > list[j].sdc+list[j].due
+	})
+	fmt.Printf("\nmost vulnerable structures:\n")
+	for i, s := range list {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("  %-28s SDC %5.1f%%  DUE %5.1f%%\n", s.name,
+			100*float64(s.sdc)/float64(s.n), 100*float64(s.due)/float64(s.n))
+	}
+}

@@ -1,0 +1,87 @@
+// Command precompute warms the fault-injection campaign cache for every
+// configuration the experiment harness needs. Campaigns are expensive
+// (minutes for the out-of-order core) and deterministic, so they are
+// computed once and cached under testdata/cache (see inject.CacheDir).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"clear/internal/bench"
+	"clear/internal/core"
+	"clear/internal/experiments"
+	"clear/internal/inject"
+)
+
+func main() {
+	only := flag.String("only", "", "restrict to a phase: base, ino, ooo, abft")
+	flag.Parse()
+	log.SetFlags(log.Ltime)
+	start := time.Now()
+
+	inoE := core.NewEngine(inject.InO)
+	oooE := core.NewEngine(inject.OoO)
+
+	phase := func(name string, f func() error) {
+		if *only != "" && *only != name {
+			return
+		}
+		t0 := time.Now()
+		log.Printf("phase %s...", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "precompute %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		log.Printf("phase %s done in %s", name, time.Since(t0).Round(time.Second))
+	}
+
+	warm := func(e *core.Engine, benches []*bench.Benchmark, variants []core.Variant) error {
+		for _, v := range variants {
+			for _, b := range benches {
+				t0 := time.Now()
+				if _, err := e.Campaign(b, v); err != nil {
+					return fmt.Errorf("%s/%s/%s: %w", e.Kind, b.Name, v.Tag(), err)
+				}
+				log.Printf("  %s %s %s (%s)", e.Kind, b.Name, v.Tag(), time.Since(t0).Round(time.Millisecond))
+			}
+		}
+		return nil
+	}
+
+	phase("base", func() error {
+		if err := warm(inoE, bench.All(), []core.Variant{{}}); err != nil {
+			return err
+		}
+		return warm(oooE, bench.ForOoO(), []core.Variant{{}})
+	})
+
+	phase("ino", func() error {
+		// full-suite technique campaigns
+		if err := warm(inoE, bench.All(), experiments.InOFullVariants()); err != nil {
+			return err
+		}
+		// subset campaigns (Tables 10/11/13/14/16)
+		return warm(inoE, experiments.SubsetBenchmarks(), experiments.InOSubsetVariants())
+	})
+
+	phase("ooo", func() error {
+		return warm(oooE, bench.ForOoO(), experiments.OoOVariants())
+	})
+
+	phase("abft", func() error {
+		if err := warm(inoE, experiments.ABFTCorrBenchmarks(), experiments.ABFTCorrVariants()); err != nil {
+			return err
+		}
+		if err := warm(inoE, experiments.ABFTDetBenchmarks(), experiments.ABFTDetVariants()); err != nil {
+			return err
+		}
+		return warm(oooE, experiments.ABFTCorrBenchmarks(), experiments.ABFTCorrVariants())
+	})
+
+	log.Printf("all phases complete in %s; cache at %s",
+		time.Since(start).Round(time.Second), inject.CacheDir())
+}

@@ -1,0 +1,106 @@
+// Command trace disassembles a benchmark (optionally after a software
+// resilience transform) and can trace its committed instruction stream on
+// either core — the debugging view behind the simulators.
+//
+//	trace -bench gzip                      # disassembly
+//	trace -bench gzip -transform eddi      # EDDI-protected disassembly
+//	trace -bench gzip -run -core OoO -n 40 # first 40 commits on the OoO core
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"clear/internal/bench"
+	"clear/internal/inject"
+	"clear/internal/isa"
+	"clear/internal/prog"
+	"clear/internal/sim"
+	"clear/internal/swres"
+)
+
+func main() {
+	benchName := flag.String("bench", "gzip", "benchmark name")
+	transform := flag.String("transform", "", "software transform: eddi, eddi-srb, seddi, cfcss, assert")
+	run := flag.Bool("run", false, "trace committed instructions instead of disassembling")
+	coreName := flag.String("core", "InO", "core for -run: InO or OoO")
+	n := flag.Int("n", 30, "number of commits to trace with -run")
+	flag.Parse()
+
+	b := bench.ByName(*benchName)
+	if b == nil {
+		log.Fatalf("unknown benchmark %q (have: %v)", *benchName, bench.Names())
+	}
+	p, err := b.Program()
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch *transform {
+	case "":
+	case "eddi":
+		p, err = swres.EDDI(p, false)
+	case "eddi-srb":
+		p, err = swres.EDDI(p, true)
+	case "seddi":
+		p, err = swres.SelectiveEDDI(p)
+	case "cfcss":
+		p, err = swres.CFCSS(p)
+	case "assert":
+		p, err = swres.Assertions(p, swres.AssertCombined)
+	default:
+		log.Fatalf("unknown transform %q", *transform)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if !*run {
+		disassemble(p)
+		return
+	}
+
+	kind := inject.InO
+	if *coreName == "OoO" {
+		kind = inject.OoO
+	}
+	c := inject.NewCore(kind, p)
+	count := 0
+	c.SetCommitHook(func(ev sim.CommitEvent) bool {
+		if count < *n {
+			fmt.Printf("%6d  pc=%-5d %v\n", count, ev.PC, decodeStr(ev.Word))
+		}
+		count++
+		return false
+	})
+	res := c.Run(20_000_000)
+	fmt.Printf("... %d instructions committed in %d cycles (%v), output %v\n",
+		count, res.Steps, res.Status, res.Output)
+}
+
+func disassemble(p *prog.Program) {
+	// invert the label map for annotation
+	byPC := map[int][]string{}
+	for l, pc := range p.Labels {
+		byPC[pc] = append(byPC[pc], l)
+	}
+	fmt.Printf("%s: %d instructions, %d basic blocks, %d data words\n\n",
+		p.Name, len(p.Code), len(p.Blocks), len(p.Data))
+	for pc, in := range p.Code {
+		labels := byPC[pc]
+		sort.Strings(labels)
+		for _, l := range labels {
+			fmt.Printf("%s:\n", l)
+		}
+		marker := " "
+		if bi := p.BlockOf(pc); bi >= 0 && p.Blocks[bi].Start == pc {
+			marker = "▸"
+		}
+		fmt.Printf("%s %5d  %s\n", marker, pc, in)
+	}
+}
+
+func decodeStr(word uint32) string {
+	return isa.Decode(word).String()
+}

@@ -1,0 +1,56 @@
+// Matrixabft: when the application space is matrix-structured, algorithm-
+// based fault tolerance composes with the low-level techniques (paper Sec
+// 3.2). This example protects the inner-product kernel three ways —
+// ABFT correction alone, hardware-only, ABFT + LEAP-DICE + parity + flush —
+// and shows how the algorithm layer absorbs part of the flip-flop
+// vulnerability, shrinking the selective-hardening set.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"clear"
+)
+
+func main() {
+	eng := clear.NewEngine(clear.InO)
+	eng.SamplesBase, eng.SamplesTech = 2, 2
+	b := clear.BenchmarkByName("inner_product")
+
+	rows := []struct {
+		name  string
+		combo clear.Combo
+	}{
+		{"ABFT correction alone", clear.Combo{Variant: clear.Variant{ABFT: clear.ABFTCorr}}},
+		{"LEAP-DICE + parity + flush", clear.Combo{DICE: true, Parity: true, Recovery: clear.RecFlush}},
+		{"ABFT + LEAP-DICE + parity + flush", clear.Combo{DICE: true, Parity: true,
+			Recovery: clear.RecFlush, Variant: clear.Variant{ABFT: clear.ABFTCorr}}},
+	}
+	fmt.Println("inner_product at a 50x SDC improvement target (InO core):")
+	for _, r := range rows {
+		out, err := eng.EvalCombo(b, r.combo, clear.SDC, 50)
+		if err != nil {
+			log.Fatal(err)
+		}
+		met := ""
+		if !out.TargetMet {
+			met = "  (target NOT met: algorithm layer alone cannot reach 50x)"
+		}
+		fmt.Printf("  %-36s SDC %-8s energy %5.2f%%  protected FFs %4d%s\n",
+			r.name, impStr(out.SDCImp), 100*out.Cost.Energy(), out.Protected, met)
+	}
+	fmt.Println("\nABFT absorbs part of the vulnerability in the algorithm, so the")
+	fmt.Println("selective-hardening pass on top needs fewer flip-flops (compare the")
+	fmt.Println("protected-FF counts). On these miniature kernels the checksum passes")
+	fmt.Println("cost a larger runtime fraction than on the paper's full-size")
+	fmt.Println("matrices, where the same composition also wins on total energy.")
+}
+
+func impStr(v float64) string {
+	if math.IsInf(v, 1) {
+		return "max"
+	}
+	return fmt.Sprintf("%.1fx", v)
+}

@@ -1,0 +1,76 @@
+// Newtechnique: the paper's Sec 5 use of CLEAR — deriving the bound that a
+// NEW soft-error resilience technique must beat to be competitive. The
+// LEAP-DICE + parity + recovery combination defines an energy-vs-
+// improvement frontier (Fig 9); a proposed technique whose (cost,
+// improvement) point lies above that frontier is dominated before it is
+// even built.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"clear"
+)
+
+// proposed is a hypothetical new technique as its authors might report it.
+type proposed struct {
+	name       string
+	sdcImp     float64
+	energyCost float64 // fractional
+}
+
+func main() {
+	eng := clear.NewEngine(clear.InO)
+	eng.SamplesBase, eng.SamplesTech = 2, 2
+	b := clear.BenchmarkByName("gzip")
+	combo := clear.Combo{DICE: true, Parity: true, Recovery: clear.RecFlush}
+
+	// Build the frontier: energy cost of the best known combination at a
+	// range of SDC improvement targets.
+	targets := []float64{2, 5, 10, 20, 50, 100, 500}
+	frontier := map[float64]float64{}
+	fmt.Println("bound: LEAP-DICE + parity + flush on the InO core (gzip)")
+	for _, tgt := range targets {
+		out, err := eng.EvalCombo(b, combo, clear.SDC, tgt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		frontier[tgt] = out.Cost.Energy()
+		fmt.Printf("  %5.0fx SDC improvement costs %5.2f%% energy\n", tgt, 100*out.Cost.Energy())
+	}
+
+	candidates := []proposed{
+		{"razor-like detector, cheap but weak", 4, 0.02},
+		{"published software scheme", 10, 0.25},
+		{"novel hybrid checker", 100, 0.035},
+	}
+	fmt.Println("\njudging proposed techniques against the bound:")
+	for _, c := range candidates {
+		bound := interpolate(targets, frontier, c.sdcImp)
+		verdict := "COMPETITIVE (beats the cross-layer bound)"
+		if c.energyCost >= bound {
+			verdict = fmt.Sprintf("dominated (bound reaches %.0fx for %.2f%%)", c.sdcImp, 100*bound)
+		}
+		fmt.Printf("  %-38s %5.0fx @ %5.2f%% energy -> %s\n",
+			c.name, c.sdcImp, 100*c.energyCost, verdict)
+	}
+}
+
+// interpolate returns the frontier energy at an improvement level.
+func interpolate(targets []float64, frontier map[float64]float64, x float64) float64 {
+	prev := targets[0]
+	for _, t := range targets {
+		if x <= t {
+			// log-linear between the two surrounding targets
+			if t == prev {
+				return frontier[t]
+			}
+			f := (math.Log(x) - math.Log(prev)) / (math.Log(t) - math.Log(prev))
+			return frontier[prev] + f*(frontier[t]-frontier[prev])
+		}
+		prev = t
+	}
+	return frontier[targets[len(targets)-1]]
+}

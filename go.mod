@@ -1,0 +1,3 @@
+module clear
+
+go 1.22

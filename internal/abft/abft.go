@@ -1,0 +1,353 @@
+// Package abft implements algorithm-based fault tolerance (paper Sec 2.4
+// "Algorithm", Sec 3.2): protected variants of the PERFECT kernels.
+//
+// The three matrix-structured kernels (inner_product, 2d_convolution,
+// debayer_filter) get ABFT *correction*: cheap running checksums verified
+// against the produced outputs, with in-place recomputation on mismatch
+// (and TRAPD only if recomputation disagrees again). The remaining kernels
+// get ABFT *detection*: invariant checks (histogram mass, Parseval energy
+// with a trained tolerance, row checksums, recompute-and-compare) that
+// TRAPD on violation — detection-only, which is why the paper finds these
+// cannot improve DUE and often cost much more execution time.
+package abft
+
+import (
+	"fmt"
+
+	"clear/internal/bench"
+	"clear/internal/isa"
+	"clear/internal/prog"
+)
+
+// Mode selects the ABFT flavor of a protected kernel.
+type Mode int
+
+// ABFT modes.
+const (
+	Correction Mode = iota
+	Detection
+)
+
+func (m Mode) String() string {
+	if m == Correction {
+		return "abft-correction"
+	}
+	return "abft-detection"
+}
+
+// Supports reports whether the named benchmark has an ABFT variant in the
+// given mode. Correction exists only for the matrix-structured kernels;
+// every correction-capable kernel can also run detection-only.
+func Supports(name string, m Mode) bool {
+	b := bench.ByName(name)
+	if b == nil {
+		return false
+	}
+	switch b.ABFT {
+	case bench.ABFTCorrection:
+		return true
+	case bench.ABFTDetection:
+		return m == Detection
+	}
+	return false
+}
+
+// CorrectionKernels lists the benchmarks with ABFT-correction variants.
+func CorrectionKernels() []string {
+	return []string{"2d_convolution", "debayer_filter", "inner_product"}
+}
+
+// DetectionKernels lists the benchmarks with detection-only ABFT variants.
+func DetectionKernels() []string {
+	return []string{"fft", "histogram_eq", "interpolate", "outer_product"}
+}
+
+// Program builds the ABFT-protected variant of the named benchmark. The
+// protected program produces the same outputs as the original.
+func Program(name string, m Mode) (*prog.Program, error) {
+	var build func(Mode) (*prog.Program, error)
+	switch name {
+	case "inner_product":
+		build = innerProduct
+	case "2d_convolution":
+		build = conv2D
+	case "debayer_filter":
+		build = debayer
+	case "fft":
+		if m == Correction {
+			return nil, fmt.Errorf("abft: fft supports detection only")
+		}
+		build = fftDetect
+	case "histogram_eq":
+		if m == Correction {
+			return nil, fmt.Errorf("abft: histogram_eq supports detection only")
+		}
+		build = histEqDetect
+	case "interpolate":
+		if m == Correction {
+			return nil, fmt.Errorf("abft: interpolate supports detection only")
+		}
+		build = interpDetect
+	case "outer_product":
+		if m == Correction {
+			return nil, fmt.Errorf("abft: outer_product supports detection only")
+		}
+		build = outerDetect
+	default:
+		return nil, fmt.Errorf("abft: %s has no ABFT variant", name)
+	}
+	p, err := build(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ComputeExpected(8_000_000); err != nil {
+		return nil, err
+	}
+	orig := bench.ByName(name).MustProgram()
+	if !orig.OutputsEqual(p.Expected) {
+		return nil, fmt.Errorf("abft: %s variant changed outputs", name)
+	}
+	return p, nil
+}
+
+// finishP assembles with error context.
+func finishP(name string, b *isa.Builder, data []uint32, mem int) (*prog.Program, error) {
+	return prog.New(name, b.Items(), data, mem)
+}
+
+// innerProduct: dual-accumulation checksum. The dot product is accumulated
+// twice into independent registers; a mismatch triggers one in-place
+// recomputation (correction); persistent mismatch detects.
+func innerProduct(m Mode) (*prog.Program, error) {
+	av, bv, n := bench.InnerProductInput()
+	data := append(append([]uint32{}, av...), bv...)
+	b := isa.NewBuilder()
+	b.Li(6, 0) // retry count
+	b.Label("compute")
+	b.Li(1, 0)
+	b.Li(2, int32(n))
+	b.Li(9, 0)  // primary accumulator
+	b.Li(10, 0) // checksum accumulator
+	b.Label("loop")
+	b.Lw(4, 1, 0)
+	b.Lw(5, 1, int32(n))
+	b.Mul(4, 4, 5)
+	b.Add(9, 9, 4)
+	b.Add(10, 10, 4) // checksum duplicate
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "loop")
+	b.Beq(9, 10, "good")
+	// mismatch: correct by recomputation (once)
+	b.Addi(6, 6, 1)
+	b.Li(5, 2)
+	b.Blt(6, 5, "compute")
+	b.Trapd() // correction failed
+	b.Label("good")
+	b.Out(9)
+	b.Halt()
+	name := "inner_product+abftc"
+	if m == Detection {
+		name = "inner_product+abftd"
+	}
+	return finishP(name, b, data, 128)
+}
+
+// conv2D: per-row running checksums verified against a re-scan of the
+// output row; mismatching rows are recomputed in place.
+func conv2D(m Mode) (*prog.Program, error) {
+	img, ker, w, h := bench.Conv2DInput()
+	data := append(append([]uint32{}, img...), ker...)
+	const kerBase = 64
+	const outBase = 80
+	const rowSum = 120 // 6 row checksums
+
+	b := isa.NewBuilder()
+	b.Li(1, 0) // oy
+	b.Label("oy")
+	b.Li(13, 0) // row retry count
+	b.Label("rowstart")
+	b.Li(2, 0)  // ox
+	b.Li(12, 0) // row running checksum
+	b.Label("ox")
+	b.Li(9, 0)  // primary accumulator
+	b.Li(11, 0) // independent check accumulator (the ABFT data path)
+	b.Li(3, 0)
+	b.Label("ky")
+	b.Li(4, 0)
+	b.Label("kx")
+	b.Add(5, 1, 3)
+	b.Slli(5, 5, 3)
+	b.Add(5, 5, 2)
+	b.Add(5, 5, 4)
+	b.Lw(6, 5, 0)
+	b.Slli(7, 3, 1)
+	b.Add(7, 7, 3)
+	b.Add(7, 7, 4)
+	b.Lw(8, 7, kerBase)
+	b.Mul(6, 6, 8)
+	b.Add(9, 9, 6)
+	b.Add(11, 11, 6) // duplicate accumulation
+	b.Addi(4, 4, 1)
+	b.Slti(10, 4, 3)
+	b.Bne(10, 0, "kx")
+	b.Addi(3, 3, 1)
+	b.Slti(10, 3, 3)
+	b.Bne(10, 0, "ky")
+	b.Srli(9, 9, 4)
+	b.Srli(11, 11, 4)
+	// per-pixel check: accumulators must agree; mismatch -> recompute row
+	b.Beq(9, 11, "pixok")
+	b.Addi(13, 13, 1)
+	b.Li(5, 3)
+	b.Blt(13, 5, "rowstart")
+	b.Trapd()
+	b.Label("pixok")
+	b.Add(12, 12, 9) // running row checksum
+	b.Slli(5, 1, 2)
+	b.Add(5, 5, 1)
+	b.Add(5, 5, 1)
+	b.Add(5, 5, 2)
+	b.Sw(9, 5, outBase)
+	b.Addi(2, 2, 1)
+	b.Slti(10, 2, int32(w-2))
+	b.Bne(10, 0, "ox")
+	// verify row: re-sum stored outputs
+	b.Slli(5, 1, 2)
+	b.Add(5, 5, 1)
+	b.Add(5, 5, 1) // oy*6
+	b.Li(2, 0)
+	b.Li(11, 0)
+	b.Label("vrow")
+	b.Add(6, 5, 2)
+	b.Lw(7, 6, outBase)
+	b.Add(11, 11, 7)
+	b.Addi(2, 2, 1)
+	b.Slti(10, 2, 6)
+	b.Bne(10, 0, "vrow")
+	b.Sw(12, 1, rowSum)
+	b.Beq(11, 12, "rowok")
+	// checksum mismatch: recompute this row once, then give up
+	b.Addi(13, 13, 1)
+	b.Li(5, 2)
+	b.Blt(13, 5, "rowstart")
+	b.Trapd()
+	b.Label("rowok")
+	b.Addi(1, 1, 1)
+	b.Slti(10, 1, int32(h-2))
+	b.Bne(10, 0, "oy")
+	// original output checksum
+	b.Li(1, 0)
+	b.Li(2, 36)
+	b.Li(9, 0)
+	b.Li(10, 7)
+	b.Label("cs")
+	b.Lw(5, 1, outBase)
+	b.Mul(9, 9, 10)
+	b.Add(9, 9, 5)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "cs")
+	b.Out(9)
+	b.Halt()
+	name := "2d_convolution+abftc"
+	if m == Detection {
+		name = "2d_convolution+abftd"
+	}
+	return finishP(name, b, data, 256)
+}
+
+// debayer: per-row running checksum with re-scan verification and in-place
+// row recomputation, like conv2D.
+func debayer(m Mode) (*prog.Program, error) {
+	mosaic := bench.DebayerInput()
+	const outBase = 64
+
+	b := isa.NewBuilder()
+	b.Li(1, 1)
+	b.Label("y")
+	b.Li(13, 0)
+	b.Label("rowstart")
+	b.Li(2, 1)
+	b.Li(12, 0) // running checksum
+	b.Label("x")
+	b.Add(5, 1, 2)
+	b.Andi(5, 5, 1)
+	b.Slli(6, 1, 3)
+	b.Add(6, 6, 2)
+	b.Bne(5, 0, "sampled")
+	b.Lw(7, 6, -8)
+	b.Lw(8, 6, 8)
+	b.Add(7, 7, 8)
+	b.Lw(8, 6, -1)
+	b.Add(7, 7, 8)
+	b.Lw(8, 6, 1)
+	b.Add(7, 7, 8)
+	b.Srli(7, 7, 2)
+	// independent recomputation of the interpolation (ABFT check path)
+	b.Lw(9, 6, -8)
+	b.Lw(8, 6, 8)
+	b.Add(9, 9, 8)
+	b.Lw(8, 6, -1)
+	b.Add(9, 9, 8)
+	b.Lw(8, 6, 1)
+	b.Add(9, 9, 8)
+	b.Srli(9, 9, 2)
+	b.Beq(7, 9, "store")
+	b.Addi(13, 13, 1)
+	b.Li(5, 3)
+	b.Blt(13, 5, "rowstart")
+	b.Trapd()
+	b.Jmp("store")
+	b.Label("sampled")
+	b.Lw(7, 6, 0)
+	b.Label("store")
+	b.Sw(7, 6, outBase)
+	b.Add(12, 12, 7)
+	b.Addi(2, 2, 1)
+	b.Slti(10, 2, 7)
+	b.Bne(10, 0, "x")
+	// verify row
+	b.Li(2, 1)
+	b.Li(11, 0)
+	b.Label("vx")
+	b.Slli(6, 1, 3)
+	b.Add(6, 6, 2)
+	b.Lw(7, 6, outBase)
+	b.Add(11, 11, 7)
+	b.Addi(2, 2, 1)
+	b.Slti(10, 2, 7)
+	b.Bne(10, 0, "vx")
+	b.Beq(11, 12, "rowok")
+	b.Addi(13, 13, 1)
+	b.Li(5, 2)
+	b.Blt(13, 5, "rowstart")
+	b.Trapd()
+	b.Label("rowok")
+	b.Addi(1, 1, 1)
+	b.Slti(10, 1, 7)
+	b.Bne(10, 0, "y")
+	// original checksum output
+	b.Li(1, 1)
+	b.Li(9, 0)
+	b.Li(11, 5)
+	b.Label("csy")
+	b.Li(2, 1)
+	b.Label("csx")
+	b.Slli(6, 1, 3)
+	b.Add(6, 6, 2)
+	b.Lw(5, 6, outBase)
+	b.Mul(9, 9, 11)
+	b.Add(9, 9, 5)
+	b.Addi(2, 2, 1)
+	b.Slti(10, 2, 7)
+	b.Bne(10, 0, "csx")
+	b.Addi(1, 1, 1)
+	b.Slti(10, 1, 7)
+	b.Bne(10, 0, "csy")
+	b.Out(9)
+	b.Halt()
+	name := "debayer_filter+abftc"
+	if m == Detection {
+		name = "debayer_filter+abftd"
+	}
+	return finishP(name, b, mosaic, 256)
+}

@@ -1,0 +1,154 @@
+package abft
+
+import (
+	"testing"
+
+	"clear/internal/bench"
+	"clear/internal/ino"
+	"clear/internal/ooo"
+	"clear/internal/prog"
+)
+
+func TestAllVariantsGolden(t *testing.T) {
+	for _, name := range CorrectionKernels() {
+		p, err := Program(name, Correction)
+		if err != nil {
+			t.Fatalf("%s correction: %v", name, err)
+		}
+		res := ino.New(p).Run(5_000_000)
+		if res.Status != prog.StatusHalted || !p.OutputsEqual(res.Output) {
+			t.Fatalf("%s correction: pipeline run failed (%v)", name, res.Status)
+		}
+		// correction kernels also run on the OoO core (paper Sec 3.2)
+		res = ooo.New(p).Run(5_000_000)
+		if res.Status != prog.StatusHalted || !p.OutputsEqual(res.Output) {
+			t.Fatalf("%s correction on OoO: %v", name, res.Status)
+		}
+	}
+	for _, name := range DetectionKernels() {
+		p, err := Program(name, Detection)
+		if err != nil {
+			t.Fatalf("%s detection: %v", name, err)
+		}
+		res := ino.New(p).Run(5_000_000)
+		if res.Status != prog.StatusHalted || !p.OutputsEqual(res.Output) {
+			t.Fatalf("%s detection: pipeline run failed (%v)", name, res.Status)
+		}
+	}
+}
+
+func TestSupportsMatrix(t *testing.T) {
+	if !Supports("inner_product", Correction) || !Supports("inner_product", Detection) {
+		t.Fatal("inner_product should support both modes")
+	}
+	if Supports("fft", Correction) {
+		t.Fatal("fft must not support correction")
+	}
+	if !Supports("fft", Detection) {
+		t.Fatal("fft should support detection")
+	}
+	if Supports("gzip", Detection) || Supports("gzip", Correction) {
+		t.Fatal("SPEC kernels have no ABFT")
+	}
+	if Supports("nonexistent", Detection) {
+		t.Fatal("unknown benchmark")
+	}
+}
+
+func TestExecOverheads(t *testing.T) {
+	// Correction variants should be much cheaper than the expensive
+	// recompute-style detection variants (the paper's Sec 2.4 point).
+	overhead := func(name string, m Mode) float64 {
+		t.Helper()
+		orig := bench.ByName(name).MustProgram()
+		p, err := Program(name, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := ino.New(orig).Run(5_000_000)
+		prot := ino.New(p).Run(5_000_000)
+		return float64(prot.Steps)/float64(base.Steps) - 1
+	}
+	corr := overhead("2d_convolution", Correction)
+	det := overhead("interpolate", Detection)
+	t.Logf("conv2d correction overhead %.1f%%, interpolate detection overhead %.1f%%",
+		100*corr, 100*det)
+	if corr < 0 || corr > 0.6 {
+		t.Fatalf("correction overhead %.2f out of expected band", corr)
+	}
+	if det < corr {
+		t.Fatal("recompute-style detection should cost more than checksum correction")
+	}
+}
+
+// Correction must actually correct: corrupt a freshly computed output value
+// in memory between compute and verify; the run must still produce golden
+// output (corrected), not TRAPD.
+func TestCorrectionCorrects(t *testing.T) {
+	p, err := Program("2d_convolution", Correction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrected, detected, omm := 0, 0, 0
+	for step := 200; step < 2000; step += 50 {
+		s := prog.NewISS(p)
+		fired := false
+		at := step
+		s.Hook = func(s *prog.ISS, st int) {
+			if !fired && st == at {
+				s.Mem[85] ^= 1 << 7 // corrupt an output word (outBase=80..115)
+				fired = true
+			}
+		}
+		res := s.Run(8_000_000)
+		switch {
+		case res.Status == prog.StatusHalted && p.OutputsEqual(res.Output):
+			corrected++
+		case res.Status == prog.StatusDetected:
+			detected++
+		case res.Status == prog.StatusHalted:
+			omm++
+		}
+	}
+	t.Logf("ABFT correction: %d corrected/benign, %d detected, %d escaped", corrected, detected, omm)
+	if corrected == 0 {
+		t.Fatal("no corruption was corrected")
+	}
+}
+
+// Detection must catch corrupted outputs.
+func TestDetectionDetects(t *testing.T) {
+	p, err := Program("outer_product", Detection)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := 0
+	for step := 100; step < 1500; step += 40 {
+		s := prog.NewISS(p)
+		fired := false
+		at := step
+		s.Hook = func(s *prog.ISS, st int) {
+			if !fired && st == at {
+				s.Mem[20] ^= 1 << 9 // corrupt an output matrix word
+				fired = true
+			}
+		}
+		res := s.Run(8_000_000)
+		if res.Status == prog.StatusDetected {
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Fatal("outer-product row checksums detected nothing")
+	}
+	t.Logf("ABFT detection caught %d corruptions", detected)
+}
+
+func TestProgramErrors(t *testing.T) {
+	if _, err := Program("gzip", Correction); err == nil {
+		t.Fatal("gzip should have no ABFT variant")
+	}
+	if _, err := Program("fft", Correction); err == nil {
+		t.Fatal("fft correction should be rejected")
+	}
+}

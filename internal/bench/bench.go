@@ -1,0 +1,169 @@
+// Package bench provides the 18 application benchmarks used for reliability
+// evaluation: 11 SPECINT2000-like integer kernels and 7 DARPA-PERFECT-like
+// signal/image-processing kernels, all written for the CRV32 ISA with
+// deterministic inputs and golden outputs computed by the functional
+// simulator.
+//
+// The paper evaluates the in-order core on 11 SPEC + 7 PERFECT benchmarks
+// and the out-of-order core on 8 SPEC + 3 PERFECT (its RTL model could not
+// execute the rest); the same split is reproduced here.
+//
+// Benchmarks use only registers r1..r13 (plus r31 as the link register):
+// the upper registers are reserved for the software resilience transforms
+// (EDDI shadow registers, CFCSS signature registers, assertion scratch).
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"clear/internal/isa"
+	"clear/internal/prog"
+)
+
+// ABFTKind classifies how a benchmark's algorithm can be protected by
+// algorithm-based fault tolerance.
+type ABFTKind int
+
+// ABFT applicability classes (paper Sec. 3.2: correction for the matrix-like
+// kernels, detection for the rest of PERFECT, none for SPEC).
+const (
+	ABFTNone ABFTKind = iota
+	ABFTCorrection
+	ABFTDetection
+)
+
+// Benchmark is one application benchmark.
+type Benchmark struct {
+	Name  string
+	Suite string // "SPEC" or "PERFECT"
+	ABFT  ABFTKind
+	OnOoO bool // part of the OoO core's benchmark subset
+
+	build func(seed uint32) (*prog.Program, error)
+
+	once sync.Once
+	p    *prog.Program
+	err  error
+
+	altOnce sync.Once
+	alt     *prog.Program
+	altErr  error
+}
+
+// Program builds (once) and returns the benchmark program with its golden
+// output computed.
+func (b *Benchmark) Program() (*prog.Program, error) {
+	b.once.Do(func() {
+		b.p, b.err = b.build(0)
+		if b.err == nil {
+			b.err = b.p.ComputeExpected(4_000_000)
+		}
+	})
+	return b.p, b.err
+}
+
+// AltProgram builds the benchmark with an alternate input set: identical
+// code, different data. It models the training-vs-field input mismatch the
+// paper's Sec 2.4 discusses for trained assertions (false positives).
+func (b *Benchmark) AltProgram() (*prog.Program, error) {
+	b.altOnce.Do(func() {
+		b.alt, b.altErr = b.build(0xA17)
+		if b.altErr == nil {
+			b.altErr = b.alt.ComputeExpected(4_000_000)
+		}
+	})
+	return b.alt, b.altErr
+}
+
+// MustProgram is Program, panicking on error (benchmarks are static).
+func (b *Benchmark) MustProgram() *prog.Program {
+	p, err := b.Program()
+	if err != nil {
+		panic(fmt.Sprintf("bench %s: %v", b.Name, err))
+	}
+	return p
+}
+
+var registry []*Benchmark
+
+func register(name, suite string, abft ABFTKind, onOoO bool, build func(seed uint32) (*prog.Program, error)) {
+	registry = append(registry, &Benchmark{
+		Name: name, Suite: suite, ABFT: abft, OnOoO: onOoO, build: build,
+	})
+}
+
+// All returns every benchmark (the in-order core's suite), sorted by name.
+func All() []*Benchmark {
+	out := make([]*Benchmark, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ForOoO returns the out-of-order core's benchmark subset (8 SPEC + 3
+// PERFECT, mirroring the paper).
+func ForOoO() []*Benchmark {
+	var out []*Benchmark
+	for _, b := range All() {
+		if b.OnOoO {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// ByName returns the named benchmark, or nil.
+func ByName(name string) *Benchmark {
+	for _, b := range registry {
+		if b.Name == name {
+			return b
+		}
+	}
+	return nil
+}
+
+// Names returns all benchmark names sorted.
+func Names() []string {
+	bs := All()
+	names := make([]string, len(bs))
+	for i, b := range bs {
+		names[i] = b.Name
+	}
+	return names
+}
+
+// xorshift32 is the deterministic input generator shared by all benchmarks.
+type xorshift32 uint32
+
+func (x *xorshift32) next() uint32 {
+	v := uint32(*x)
+	v ^= v << 13
+	v ^= v >> 17
+	v ^= v << 5
+	*x = xorshift32(v)
+	return v
+}
+
+func (x *xorshift32) intn(n uint32) uint32 { return x.next() % n }
+
+// words produces n pseudo-random words bounded by lim.
+func words(seed uint32, n int, lim uint32) []uint32 {
+	x := xorshift32(seed)
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = x.intn(lim)
+	}
+	return out
+}
+
+// finish assembles a builder into a named program with vars attached.
+func finish(name string, b *isa.Builder, data []uint32, memWords int, vars ...prog.Var) (*prog.Program, error) {
+	p, err := prog.New(name, b.Items(), data, memWords)
+	if err != nil {
+		return nil, err
+	}
+	p.Vars = vars
+	return p, nil
+}

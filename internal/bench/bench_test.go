@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"testing"
+
+	"clear/internal/ino"
+	"clear/internal/ooo"
+	"clear/internal/prog"
+)
+
+func TestSuiteShape(t *testing.T) {
+	all := All()
+	if len(all) != 18 {
+		t.Fatalf("expected 18 benchmarks, got %d", len(all))
+	}
+	spec, perfect := 0, 0
+	for _, b := range all {
+		switch b.Suite {
+		case "SPEC":
+			spec++
+		case "PERFECT":
+			perfect++
+		default:
+			t.Fatalf("%s: bad suite %q", b.Name, b.Suite)
+		}
+	}
+	if spec != 11 || perfect != 7 {
+		t.Fatalf("suite split %d SPEC / %d PERFECT, want 11/7", spec, perfect)
+	}
+	oSpec, oPerf := 0, 0
+	for _, b := range ForOoO() {
+		if b.Suite == "SPEC" {
+			oSpec++
+		} else {
+			oPerf++
+		}
+	}
+	if oSpec != 8 || oPerf != 3 {
+		t.Fatalf("OoO split %d/%d, want 8/3", oSpec, oPerf)
+	}
+	corr := 0
+	for _, b := range all {
+		if b.ABFT == ABFTCorrection {
+			corr++
+		}
+	}
+	if corr != 3 {
+		t.Fatalf("ABFT-correction benchmarks = %d, want 3", corr)
+	}
+}
+
+func TestAllBenchmarksGolden(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p, err := b.Program()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(p.Expected) == 0 {
+				t.Fatal("no golden output")
+			}
+			// functional sanity: bounded dynamic length
+			res := prog.Run(p, 4_000_000)
+			if res.Status != prog.StatusHalted {
+				t.Fatalf("ISS status %v", res.Status)
+			}
+			if res.Steps < 200 {
+				t.Fatalf("benchmark too short: %d instructions", res.Steps)
+			}
+			if res.Steps > 100_000 {
+				t.Fatalf("benchmark too long for injection campaigns: %d instructions", res.Steps)
+			}
+			t.Logf("%s: %d instructions, %d outputs", b.Name, res.Steps, len(p.Expected))
+		})
+	}
+}
+
+func TestAllBenchmarksOnInO(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p := b.MustProgram()
+			c := ino.New(p)
+			res := c.Run(2_000_000)
+			if res.Status != prog.StatusHalted {
+				t.Fatalf("InO status %v after %d cycles", res.Status, res.Steps)
+			}
+			if !p.OutputsEqual(res.Output) {
+				t.Fatalf("InO output %v != golden %v", res.Output, p.Expected)
+			}
+			ipc := float64(c.Retired()) / float64(c.Cycles())
+			t.Logf("%s: %d cycles, IPC %.2f", b.Name, c.Cycles(), ipc)
+		})
+	}
+}
+
+func TestOoOBenchmarksOnOoO(t *testing.T) {
+	for _, b := range ForOoO() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p := b.MustProgram()
+			c := ooo.New(p)
+			res := c.Run(2_000_000)
+			if res.Status != prog.StatusHalted {
+				t.Fatalf("OoO status %v after %d cycles", res.Status, res.Steps)
+			}
+			if !p.OutputsEqual(res.Output) {
+				t.Fatalf("OoO output %v != golden %v", res.Output, p.Expected)
+			}
+			ipc := float64(c.Retired()) / float64(c.Cycles())
+			t.Logf("%s: %d cycles, IPC %.2f", b.Name, c.Cycles(), ipc)
+		})
+	}
+}
+
+func TestVarsWithinMemory(t *testing.T) {
+	for _, b := range All() {
+		p := b.MustProgram()
+		for _, v := range p.Vars {
+			if v.Addr < 0 || v.Addr+v.Len > p.MemWords {
+				t.Errorf("%s: var %s [%d,%d) outside memory %d",
+					b.Name, v.Name, v.Addr, v.Addr+v.Len, p.MemWords)
+			}
+		}
+	}
+}
+
+func TestDeterministicGolden(t *testing.T) {
+	// Rebuild a benchmark from scratch: identical program and golden output.
+	p1, err := buildGzip(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := buildGzip(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p1.Words) != len(p2.Words) {
+		t.Fatal("nondeterministic build")
+	}
+	for i := range p1.Words {
+		if p1.Words[i] != p2.Words[i] {
+			t.Fatalf("word %d differs", i)
+		}
+	}
+	r1 := prog.Run(p1, 1_000_000)
+	r2 := prog.Run(p2, 1_000_000)
+	if len(r1.Output) != len(r2.Output) {
+		t.Fatal("nondeterministic output")
+	}
+}
+
+func TestByName(t *testing.T) {
+	if ByName("gzip") == nil || ByName("fft") == nil {
+		t.Fatal("ByName lookup failed")
+	}
+	if ByName("nonexistent") != nil {
+		t.Fatal("ByName false positive")
+	}
+	names := Names()
+	if len(names) != 18 {
+		t.Fatalf("Names() = %d entries", len(names))
+	}
+}
+
+// Benchmarks must only use registers r1..r13 and r31, leaving r14..r30 for
+// the software resilience transforms.
+func TestRegisterDiscipline(t *testing.T) {
+	for _, b := range All() {
+		p := b.MustProgram()
+		for pc, in := range p.Code {
+			for _, r := range []uint8{in.Rd, in.Rs1, in.Rs2} {
+				if r > 13 && r != 31 {
+					t.Errorf("%s pc %d (%v): uses reserved register r%d",
+						b.Name, pc, in, r)
+				}
+			}
+		}
+	}
+}
+
+// Alternate inputs must keep the code identical (data-only variation) so
+// trained-assertion sites line up between training and evaluation inputs.
+func TestAltProgramCodeInvariant(t *testing.T) {
+	for _, b := range All() {
+		p := b.MustProgram()
+		alt, err := b.AltProgram()
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		if len(alt.Words) != len(p.Words) {
+			t.Fatalf("%s: alt code length %d != %d", b.Name, len(alt.Words), len(p.Words))
+		}
+		for i := range p.Words {
+			if p.Words[i] != alt.Words[i] {
+				t.Fatalf("%s: instruction %d differs between input sets", b.Name, i)
+			}
+		}
+		dataDiff := false
+		for i := range p.Data {
+			if i < len(alt.Data) && p.Data[i] != alt.Data[i] {
+				dataDiff = true
+				break
+			}
+		}
+		if !dataDiff {
+			t.Errorf("%s: alternate input identical to canonical", b.Name)
+		}
+		res := prog.Run(alt, 4_000_000)
+		if res.Status != prog.StatusHalted {
+			t.Fatalf("%s: alt input run %v", b.Name, res.Status)
+		}
+	}
+}

@@ -1,0 +1,505 @@
+package bench
+
+import (
+	"math"
+
+	"clear/internal/isa"
+	"clear/internal/prog"
+)
+
+// The 7 DARPA-PERFECT-like signal/image-processing kernels. The three
+// matrix-structured kernels (2d_convolution, debayer_filter, inner_product)
+// are the ones the paper protects with ABFT correction; the rest admit only
+// ABFT detection. All arithmetic is fixed point (integer), as is standard
+// for embedded ports of these kernels.
+
+// reseed perturbs an input buffer for alternate-input builds (seed 0 is
+// the identity, preserving the canonical inputs).
+func reseed(buf []uint32, seed uint32) {
+	if seed == 0 {
+		return
+	}
+	x := xorshift32(seed)
+	for i := range buf {
+		buf[i] = (buf[i] + x.next()) & 0xFF
+	}
+}
+
+// reseedMod perturbs within [0, lim).
+func reseedMod(buf []uint32, seed uint32, lim uint32) {
+	if seed == 0 {
+		return
+	}
+	x := xorshift32(seed)
+	for i := range buf {
+		buf[i] = (buf[i] + x.next()) % lim
+	}
+}
+
+func init() {
+	register("2d_convolution", "PERFECT", ABFTCorrection, true, buildConv2D)
+	register("debayer_filter", "PERFECT", ABFTCorrection, true, buildDebayer)
+	register("inner_product", "PERFECT", ABFTCorrection, true, buildInnerProduct)
+	register("fft", "PERFECT", ABFTDetection, false, buildFFT)
+	register("histogram_eq", "PERFECT", ABFTDetection, false, buildHistEq)
+	register("interpolate", "PERFECT", ABFTDetection, false, buildInterp)
+	register("outer_product", "PERFECT", ABFTDetection, false, buildOuterProduct)
+}
+
+// Conv2DInput returns the deterministic image and kernel used by the
+// 2d_convolution benchmark (exported for the ABFT-protected variant).
+func Conv2DInput() (img []uint32, ker []uint32, w, h int) {
+	return words(0xC02D, 64, 256), []uint32{1, 2, 1, 2, 4, 2, 1, 2, 1}, 8, 8
+}
+
+// buildConv2D: 3x3 convolution over an 8x8 image (valid region 6x6).
+func buildConv2D(seed uint32) (*prog.Program, error) {
+	img, ker, w, h := Conv2DInput()
+	reseed(img, seed)
+	data := append(append([]uint32{}, img...), ker...)
+	const kerBase = 64
+	const outBase = 80 // 6x6 output
+
+	b := isa.NewBuilder()
+	b.Li(1, 0) // oy
+	b.Label("oy")
+	b.Li(2, 0) // ox
+	b.Label("ox")
+	b.Li(9, 0) // acc
+	b.Li(3, 0) // ky
+	b.Label("ky")
+	b.Li(4, 0) // kx
+	b.Label("kx")
+	// img[(oy+ky)*8 + ox+kx]
+	b.Add(5, 1, 3)
+	b.Slli(5, 5, 3)
+	b.Add(5, 5, 2)
+	b.Add(5, 5, 4)
+	b.Lw(6, 5, 0)
+	// ker[ky*3+kx]
+	b.Slli(7, 3, 1)
+	b.Add(7, 7, 3)
+	b.Add(7, 7, 4)
+	b.Lw(8, 7, kerBase)
+	b.Mul(6, 6, 8)
+	b.Add(9, 9, 6)
+	b.Addi(4, 4, 1)
+	b.Slti(10, 4, 3)
+	b.Bne(10, 0, "kx")
+	b.Addi(3, 3, 1)
+	b.Slti(10, 3, 3)
+	b.Bne(10, 0, "ky")
+	b.Srli(9, 9, 4) // normalize by 16
+	// out[oy*6+ox]
+	b.Slli(5, 1, 2)
+	b.Add(5, 5, 1)
+	b.Add(5, 5, 1) // oy*6
+	b.Add(5, 5, 2)
+	b.Sw(9, 5, outBase)
+	b.Addi(2, 2, 1)
+	b.Slti(10, 2, int32(w-2))
+	b.Bne(10, 0, "ox")
+	b.Addi(1, 1, 1)
+	b.Slti(10, 1, int32(h-2))
+	b.Bne(10, 0, "oy")
+	// checksum
+	b.Li(1, 0)
+	b.Li(2, 36)
+	b.Li(9, 0)
+	b.Li(10, 7)
+	b.Label("cs")
+	b.Lw(5, 1, outBase)
+	b.Mul(9, 9, 10)
+	b.Add(9, 9, 5)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "cs")
+	b.Out(9)
+	b.Halt()
+	return finish("2d_convolution", b, data, 256,
+		prog.Var{Name: "image", Addr: 0, Len: 64},
+		prog.Var{Name: "output", Addr: outBase, Len: 36})
+}
+
+// DebayerInput returns the deterministic 8x8 RGGB mosaic (exported for the
+// ABFT-protected variant).
+func DebayerInput() []uint32 { return words(0xDEBA, 64, 256) }
+
+// buildDebayer: bilinear green-channel demosaic of an RGGB mosaic. Interior
+// pixels where green is not sampled get the average of the 4 neighbors.
+func buildDebayer(seed uint32) (*prog.Program, error) {
+	mosaic := DebayerInput()
+	reseed(mosaic, seed)
+	const outBase = 64 // 8x8 green plane
+
+	b := isa.NewBuilder()
+	b.Li(1, 1) // y (interior only)
+	b.Label("y")
+	b.Li(2, 1) // x
+	b.Label("x")
+	// green sampled at (y+x) odd in RGGB
+	b.Add(5, 1, 2)
+	b.Andi(5, 5, 1)
+	b.Slli(6, 1, 3)
+	b.Add(6, 6, 2) // idx = y*8+x
+	b.Bne(5, 0, "sampled")
+	// interpolate: (up + down + left + right) / 4
+	b.Lw(7, 6, -8)
+	b.Lw(8, 6, 8)
+	b.Add(7, 7, 8)
+	b.Lw(8, 6, -1)
+	b.Add(7, 7, 8)
+	b.Lw(8, 6, 1)
+	b.Add(7, 7, 8)
+	b.Srli(7, 7, 2)
+	b.Jmp("store")
+	b.Label("sampled")
+	b.Lw(7, 6, 0)
+	b.Label("store")
+	b.Sw(7, 6, outBase)
+	b.Addi(2, 2, 1)
+	b.Slti(10, 2, 7)
+	b.Bne(10, 0, "x")
+	b.Addi(1, 1, 1)
+	b.Slti(10, 1, 7)
+	b.Bne(10, 0, "y")
+	// checksum of the interior green plane
+	b.Li(1, 1)
+	b.Li(9, 0)
+	b.Li(11, 5)
+	b.Label("csy")
+	b.Li(2, 1)
+	b.Label("csx")
+	b.Slli(6, 1, 3)
+	b.Add(6, 6, 2)
+	b.Lw(5, 6, outBase)
+	b.Mul(9, 9, 11)
+	b.Add(9, 9, 5)
+	b.Addi(2, 2, 1)
+	b.Slti(10, 2, 7)
+	b.Bne(10, 0, "csx")
+	b.Addi(1, 1, 1)
+	b.Slti(10, 1, 7)
+	b.Bne(10, 0, "csy")
+	b.Out(9)
+	b.Halt()
+	return finish("debayer_filter", b, mosaic, 256,
+		prog.Var{Name: "mosaic", Addr: 0, Len: 64},
+		prog.Var{Name: "green", Addr: outBase, Len: 64})
+}
+
+// InnerProductInput returns the two deterministic vectors (exported for the
+// ABFT-protected variant).
+func InnerProductInput() (a, b []uint32, n int) {
+	return words(0x1A2B, 48, 1000), words(0x3C4D, 48, 1000), 48
+}
+
+// buildInnerProduct: dot product of two 48-element vectors.
+func buildInnerProduct(seed uint32) (*prog.Program, error) {
+	av, bv, n := InnerProductInput()
+	data := append(append([]uint32{}, av...), bv...)
+	reseed(data, seed)
+	b := isa.NewBuilder()
+	b.Li(1, 0)
+	b.Li(2, int32(n))
+	b.Li(9, 0)
+	b.Label("loop")
+	b.Lw(4, 1, 0)
+	b.Lw(5, 1, int32(n))
+	b.Mul(4, 4, 5)
+	b.Add(9, 9, 4)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "loop")
+	b.Out(9)
+	b.Halt()
+	return finish("inner_product", b, data, 128,
+		prog.Var{Name: "a", Addr: 0, Len: n},
+		prog.Var{Name: "b", Addr: n, Len: n})
+}
+
+// FFTInput returns the 16-point input signal, the twiddle tables (Q8 fixed
+// point) and the bit-reversal permutation (exported for the ABFT-detection
+// variant).
+func FFTInput() (re []uint32, cos, sin, brev []uint32) {
+	re = words(0xFF70, 16, 256)
+	cos = make([]uint32, 8)
+	sin = make([]uint32, 8)
+	for i := 0; i < 8; i++ {
+		ang := 2 * math.Pi * float64(i) / 16
+		cos[i] = uint32(int32(math.Round(256 * math.Cos(ang))))
+		sin[i] = uint32(int32(math.Round(256 * math.Sin(ang))))
+	}
+	brev = make([]uint32, 16)
+	for i := 0; i < 16; i++ {
+		r := 0
+		for b := 0; b < 4; b++ {
+			if i&(1<<b) != 0 {
+				r |= 1 << (3 - b)
+			}
+		}
+		brev[i] = uint32(r)
+	}
+	return re, cos, sin, brev
+}
+
+// buildFFT: 16-point radix-2 decimation-in-time FFT in Q8 fixed point.
+// Memory: re[16]@0, im[16]@16, cos[8]@32, sin[8]@40, brev[16]@48.
+func buildFFT(seed uint32) (*prog.Program, error) {
+	re, cosT, sinT, brev := FFTInput()
+	data := make([]uint32, 64)
+	copy(data[0:], re)
+	reseed(data[0:16], seed)
+	for i := 0; i < 16; i++ {
+		data[i] &= 0xFF // keep Q8 input range
+	}
+	copy(data[32:], cosT)
+	copy(data[40:], sinT)
+	copy(data[48:], brev)
+	const reB, imB, cosB, sinB, brB = 0, 16, 32, 40, 48
+
+	b := isa.NewBuilder()
+	// bit-reverse permutation (swap when i < j)
+	b.Li(1, 0)
+	b.Li(2, 16)
+	b.Label("br")
+	b.Lw(3, 1, brB)
+	b.Bge(1, 3, "noswap")
+	b.Lw(4, 1, reB)
+	b.Lw(5, 3, reB)
+	b.Sw(5, 1, reB)
+	b.Sw(4, 3, reB)
+	b.Label("noswap")
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "br")
+	// stages: s = half-size in {1,2,4,8}
+	b.Li(1, 1) // s
+	b.Label("stage")
+	b.Li(2, 0) // k
+	b.Label("grp")
+	b.Li(3, 0) // j
+	b.Label("bfy")
+	// twiddle index t = j * (8/s)
+	b.Li(4, 8)
+	b.Div(4, 4, 1)
+	b.Mul(4, 4, 3)
+	b.Lw(5, 4, cosB) // wr
+	b.Lw(6, 4, sinB) // wi (use w = wr - i*wi)
+	// indices: lo = k+j, hi = lo+s
+	b.Add(7, 2, 3)
+	b.Add(8, 7, 1)
+	// tr = (wr*re[hi] + wi*im[hi]) >> 8 ; ti = (wr*im[hi] - wi*re[hi]) >> 8
+	b.Lw(9, 8, reB)
+	b.Lw(10, 8, imB)
+	b.Mul(11, 5, 9)
+	b.Mul(12, 6, 10)
+	b.Add(11, 11, 12)
+	b.Srai(11, 11, 8) // tr
+	b.Mul(12, 5, 10)
+	b.Mul(13, 6, 9)
+	b.Sub(12, 12, 13)
+	b.Srai(12, 12, 8) // ti
+	// hi = lo - t ; lo = lo + t
+	b.Lw(9, 7, reB)
+	b.Lw(10, 7, imB)
+	b.Sub(13, 9, 11)
+	b.Sw(13, 8, reB)
+	b.Add(13, 9, 11)
+	b.Sw(13, 7, reB)
+	b.Sub(13, 10, 12)
+	b.Sw(13, 8, imB)
+	b.Add(13, 10, 12)
+	b.Sw(13, 7, imB)
+	b.Addi(3, 3, 1)
+	b.Blt(3, 1, "bfy")
+	// k += 2s
+	b.Slli(4, 1, 1)
+	b.Add(2, 2, 4)
+	b.Slti(4, 2, 16)
+	b.Bne(4, 0, "grp")
+	b.Slli(1, 1, 1)
+	b.Slti(4, 1, 16)
+	b.Bne(4, 0, "stage")
+	// output checksums of re and im
+	for _, base := range []int32{reB, imB} {
+		b.Li(1, 0)
+		b.Li(2, 16)
+		b.Li(9, 0)
+		lbl := "csre"
+		if base == imB {
+			lbl = "csim"
+		}
+		b.Label(lbl)
+		b.Lw(5, 1, base)
+		b.Slli(9, 9, 1)
+		b.Add(9, 9, 5)
+		b.Addi(1, 1, 1)
+		b.Bne(1, 2, lbl)
+		b.Out(9)
+	}
+	b.Halt()
+	return finish("fft", b, data, 128,
+		prog.Var{Name: "re", Addr: reB, Len: 16},
+		prog.Var{Name: "im", Addr: imB, Len: 16})
+}
+
+// HistEqInput returns the deterministic pixel buffer (exported for the
+// ABFT-detection variant).
+func HistEqInput() []uint32 { return words(0x4157, 64, 64) }
+
+// buildHistEq: 16-bin histogram equalization of 64 pixels.
+func buildHistEq(seed uint32) (*prog.Program, error) {
+	pix := HistEqInput()
+	reseedMod(pix, seed, 64)
+	const histB = 64 // 16 bins
+	const cdfB = 80  // 16 entries
+	const outB = 96  // remapped pixels
+
+	b := isa.NewBuilder()
+	// clear histogram
+	b.Li(1, 0)
+	b.Li(2, 16)
+	b.Label("clr")
+	b.Sw(0, 1, histB)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "clr")
+	// build histogram: bin = pix >> 2
+	b.Li(1, 0)
+	b.Li(2, 64)
+	b.Label("hist")
+	b.Lw(3, 1, 0)
+	b.Srli(3, 3, 2)
+	b.Add(4, 3, 0)
+	b.Lw(5, 4, histB)
+	b.Addi(5, 5, 1)
+	b.Sw(5, 4, histB)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "hist")
+	// prefix sum -> CDF
+	b.Li(1, 0)
+	b.Li(2, 16)
+	b.Li(9, 0)
+	b.Label("cdf")
+	b.Lw(5, 1, histB)
+	b.Add(9, 9, 5)
+	b.Sw(9, 1, cdfB)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "cdf")
+	// remap: out = cdf[bin] * 63 / 64
+	b.Li(1, 0)
+	b.Li(2, 64)
+	b.Label("map")
+	b.Lw(3, 1, 0)
+	b.Srli(3, 3, 2)
+	b.Lw(5, 3, cdfB)
+	b.Li(6, 63)
+	b.Mul(5, 5, 6)
+	b.Srli(5, 5, 6)
+	b.Sw(5, 1, outB)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "map")
+	// checksum
+	b.Li(1, 0)
+	b.Li(9, 0)
+	b.Label("cs")
+	b.Lw(5, 1, outB)
+	b.Slli(9, 9, 1)
+	b.Add(9, 9, 5)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "cs")
+	b.Out(9)
+	b.Halt()
+	return finish("histogram_eq", b, pix, 256,
+		prog.Var{Name: "pixels", Addr: 0, Len: 64},
+		prog.Var{Name: "hist", Addr: histB, Len: 16})
+}
+
+// InterpInput returns the deterministic sample buffer (exported for the
+// ABFT-detection variant).
+func InterpInput() []uint32 { return words(0x1291, 32, 1024) }
+
+// buildInterp: 2x linear interpolation of 32 samples to 63.
+func buildInterp(seed uint32) (*prog.Program, error) {
+	samples := InterpInput()
+	reseedMod(samples, seed, 1024)
+	const outB = 64
+
+	b := isa.NewBuilder()
+	b.Li(1, 0)
+	b.Li(2, 31)
+	b.Label("loop")
+	b.Lw(3, 1, 0) // s[i]
+	b.Lw(4, 1, 1) // s[i+1]
+	b.Slli(5, 1, 1)
+	b.Sw(3, 5, outB) // out[2i] = s[i]
+	b.Add(6, 3, 4)
+	b.Srli(6, 6, 1)
+	b.Sw(6, 5, outB+1) // out[2i+1] = avg
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "loop")
+	b.Lw(3, 2, 0)
+	b.Slli(5, 2, 1)
+	b.Sw(3, 5, outB) // out[62] = s[31]
+	// checksum
+	b.Li(1, 0)
+	b.Li(2, 63)
+	b.Li(9, 0)
+	b.Li(10, 3)
+	b.Label("cs")
+	b.Lw(5, 1, outB)
+	b.Mul(9, 9, 10)
+	b.Add(9, 9, 5)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "cs")
+	b.Out(9)
+	b.Halt()
+	return finish("interpolate", b, samples, 256,
+		prog.Var{Name: "samples", Addr: 0, Len: 32})
+}
+
+// OuterProductInput returns the two deterministic vectors (exported for the
+// ABFT-detection variant).
+func OuterProductInput() (u, v []uint32, n int) {
+	return words(0x0672, 8, 200), words(0x0673, 8, 200), 8
+}
+
+// buildOuterProduct: 8x8 outer product accumulated into a matrix.
+func buildOuterProduct(seed uint32) (*prog.Program, error) {
+	u, v, n := OuterProductInput()
+	data := append(append([]uint32{}, u...), v...)
+	reseedMod(data, seed, 200)
+	const outB = 16 // 64-entry matrix
+
+	b := isa.NewBuilder()
+	b.Li(1, 0) // i
+	b.Label("i")
+	b.Li(2, 0) // j
+	b.Lw(4, 1, 0)
+	b.Label("j")
+	b.Lw(5, 2, int32(n))
+	b.Mul(6, 4, 5)
+	b.Slli(7, 1, 3)
+	b.Add(7, 7, 2)
+	b.Lw(8, 7, outB)
+	b.Add(8, 8, 6)
+	b.Sw(8, 7, outB)
+	b.Addi(2, 2, 1)
+	b.Slti(10, 2, int32(n))
+	b.Bne(10, 0, "j")
+	b.Addi(1, 1, 1)
+	b.Slti(10, 1, int32(n))
+	b.Bne(10, 0, "i")
+	// checksum
+	b.Li(1, 0)
+	b.Li(2, 64)
+	b.Li(9, 0)
+	b.Label("cs")
+	b.Lw(5, 1, outB)
+	b.Slli(9, 9, 1)
+	b.Add(9, 9, 5)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "cs")
+	b.Out(9)
+	b.Halt()
+	return finish("outer_product", b, data, 128,
+		prog.Var{Name: "u", Addr: 0, Len: n},
+		prog.Var{Name: "v", Addr: n, Len: n})
+}

@@ -1,0 +1,763 @@
+package bench
+
+import (
+	"clear/internal/isa"
+	"clear/internal/prog"
+)
+
+// The 11 SPECINT2000-like kernels. Each reproduces the algorithmic character
+// of its namesake (compression, graph optimization, search, parsing, ...)
+// at a scale that keeps a fault-injection run in the low thousands of
+// cycles. Inputs are deterministic; golden outputs come from the functional
+// simulator.
+
+func init() {
+	register("gzip", "SPEC", ABFTNone, true, buildGzip)
+	register("bzip2", "SPEC", ABFTNone, true, buildBzip2)
+	register("mcf", "SPEC", ABFTNone, true, buildMcf)
+	register("crafty", "SPEC", ABFTNone, true, buildCrafty)
+	register("parser", "SPEC", ABFTNone, true, buildParser)
+	register("gcc", "SPEC", ABFTNone, true, buildGcc)
+	register("vpr", "SPEC", ABFTNone, false, buildVpr)
+	register("vortex", "SPEC", ABFTNone, true, buildVortex)
+	register("gap", "SPEC", ABFTNone, true, buildGap)
+	register("perlbmk", "SPEC", ABFTNone, false, buildPerlbmk)
+	register("eon", "SPEC", ABFTNone, false, buildEon)
+}
+
+// gzip: run-length compression of a low-entropy buffer, decompression, and
+// verification checksum — the compress/expand/verify loop structure of gzip.
+func buildGzip(seed uint32) (*prog.Program, error) {
+	const n = 96
+	x := xorshift32(0x9E11 ^ seed)
+	input := make([]uint32, n)
+	v := uint32(3)
+	for i := range input {
+		if x.intn(3) == 0 {
+			v = x.intn(8)
+		}
+		input[i] = v
+	}
+	const enc = 128 // encoded stream: (value, runlen) pairs
+	const dec = 384 // decoded output
+
+	b := isa.NewBuilder()
+	// ---- encode ----
+	b.Li(1, 1)     // i
+	b.Li(4, enc)   // encode ptr
+	b.Li(6, n)     // limit
+	b.Li(13, 0)    // base
+	b.Lw(2, 13, 0) // cur = in[0]
+	b.Li(3, 1)     // run
+	b.Label("eloop")
+	b.Beq(1, 6, "eflush")
+	b.Lw(5, 1, 0) // in[i]
+	b.Beq(5, 2, "same")
+	b.Sw(2, 4, 0) // emit (cur, run)
+	b.Sw(3, 4, 1)
+	b.Addi(4, 4, 2)
+	b.Mv(2, 5)
+	b.Li(3, 1)
+	b.Jmp("enext")
+	b.Label("same")
+	b.Addi(3, 3, 1)
+	b.Label("enext")
+	b.Addi(1, 1, 1)
+	b.Jmp("eloop")
+	b.Label("eflush")
+	b.Sw(2, 4, 0)
+	b.Sw(3, 4, 1)
+	b.Addi(4, 4, 2)
+	// ---- decode ----
+	b.Li(7, enc) // read ptr
+	b.Li(8, dec) // write ptr
+	b.Label("dloop")
+	b.Beq(7, 4, "ddone")
+	b.Lw(2, 7, 0) // value
+	b.Lw(3, 7, 1) // run
+	b.Label("expand")
+	b.Sw(2, 8, 0)
+	b.Addi(8, 8, 1)
+	b.Addi(3, 3, -1)
+	b.Bne(3, 0, "expand")
+	b.Addi(7, 7, 2)
+	b.Jmp("dloop")
+	b.Label("ddone")
+	// ---- verify: checksum decoded = checksum input ----
+	b.Li(1, 0)
+	b.Li(9, 0)  // checksum
+	b.Li(10, 3) // multiplier
+	b.Label("vloop")
+	b.Lw(5, 1, dec)
+	b.Mul(9, 9, 10)
+	b.Add(9, 9, 5)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 6, "vloop")
+	b.Out(9)
+	b.Li(5, enc)
+	b.Sub(5, 4, 5)
+	b.Out(5) // encoded length
+	b.Halt()
+	return finish("gzip", b, input, 512,
+		prog.Var{Name: "input", Addr: 0, Len: n},
+		prog.Var{Name: "encoded", Addr: enc, Len: 128},
+		prog.Var{Name: "decoded", Addr: dec, Len: n})
+}
+
+// bzip2: move-to-front transform (the heart of bzip2's entropy stage) over a
+// 16-symbol alphabet, accumulating the rank stream checksum.
+func buildBzip2(seed uint32) (*prog.Program, error) {
+	const n = 44
+	const tbl = 96 // MTF table, 16 entries
+	input := words(0xB210^seed, n, 16)
+	b := isa.NewBuilder()
+	// init table[j] = j
+	b.Li(1, 0)
+	b.Li(2, 16)
+	b.Label("init")
+	b.Sw(1, 1, tbl)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "init")
+	// MTF loop
+	b.Li(1, 0)  // i
+	b.Li(9, 0)  // checksum
+	b.Li(10, n) // limit
+	b.Label("mtf")
+	b.Lw(3, 1, 0) // s = in[i]
+	// find j with table[j] == s
+	b.Li(4, 0) // j
+	b.Label("find")
+	b.Lw(5, 4, tbl)
+	b.Beq(5, 3, "found")
+	b.Addi(4, 4, 1)
+	b.Jmp("find")
+	b.Label("found")
+	// checksum = checksum*5 + j
+	b.Slli(6, 9, 2)
+	b.Add(9, 6, 9)
+	b.Add(9, 9, 4)
+	// move to front: shift table[0..j-1] up by one
+	b.Label("shift")
+	b.Beq(4, 0, "place")
+	b.Lw(5, 4, tbl-1)
+	b.Sw(5, 4, tbl)
+	b.Addi(4, 4, -1)
+	b.Jmp("shift")
+	b.Label("place")
+	b.Sw(3, 0, tbl) // table[0] = s
+	b.Addi(1, 1, 1)
+	b.Bne(1, 10, "mtf")
+	b.Out(9)
+	// final table state checksum
+	b.Li(1, 0)
+	b.Li(9, 0)
+	b.Label("tc")
+	b.Lw(5, 1, tbl)
+	b.Slli(9, 9, 1)
+	b.Add(9, 9, 5)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "tc")
+	b.Out(9)
+	b.Halt()
+	return finish("bzip2", b, input, 256,
+		prog.Var{Name: "input", Addr: 0, Len: n},
+		prog.Var{Name: "mtf_table", Addr: tbl, Len: 16})
+}
+
+// mcf: Bellman-Ford single-source shortest paths — the network-simplex
+// flavor of mcf's repeated edge relaxations.
+func buildMcf(seed uint32) (*prog.Program, error) {
+	const nodes = 10
+	const edges = 20
+	x := xorshift32(0x3CF0 ^ seed)
+	// edge arrays: from, to, weight
+	data := make([]uint32, 3*edges+nodes)
+	for e := 0; e < edges; e++ {
+		data[e] = x.intn(nodes)
+		data[edges+e] = x.intn(nodes)
+		data[2*edges+e] = 1 + x.intn(20)
+	}
+	// connect sequentially so everything is reachable
+	for i := 0; i < nodes-1; i++ {
+		data[i] = uint32(i)
+		data[edges+i] = uint32(i + 1)
+	}
+	const distBase = 3 * edges // dist array after edges
+	const inf = 1 << 20
+
+	b := isa.NewBuilder()
+	// init dist
+	b.Li(1, 0)
+	b.Li(2, nodes)
+	b.Li(3, inf)
+	b.Label("init")
+	b.Sw(3, 1, distBase)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "init")
+	b.Li(3, 0)
+	b.Sw(3, 0, distBase) // dist[0] = 0
+	// relax |V|-1 times
+	b.Li(8, 0) // pass
+	b.Li(9, nodes-1)
+	b.Label("pass")
+	b.Li(1, 0) // edge idx
+	b.Li(2, edges)
+	b.Label("edge")
+	b.Lw(4, 1, 0)            // u
+	b.Lw(5, 1, edges)        // v
+	b.Lw(6, 1, 2*edges)      // w
+	b.Add(7, 4, 0)           // u
+	b.Lw(10, 7, distBase)    // dist[u]
+	b.Add(11, 10, 6)         // cand = dist[u] + w
+	b.Add(7, 5, 0)           // v
+	b.Lw(12, 7, distBase)    // dist[v]
+	b.Bge(11, 12, "norelax") // if cand >= dist[v] skip
+	b.Sw(11, 7, distBase)
+	b.Label("norelax")
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "edge")
+	b.Addi(8, 8, 1)
+	b.Bne(8, 9, "pass")
+	// output sum of distances (mod inf contributions)
+	b.Li(1, 0)
+	b.Li(2, nodes)
+	b.Li(9, 0)
+	b.Li(3, inf)
+	b.Label("sum")
+	b.Lw(5, 1, distBase)
+	b.Beq(5, 3, "skip") // unreachable
+	b.Add(9, 9, 5)
+	b.Label("skip")
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "sum")
+	b.Out(9)
+	b.Halt()
+	return finish("mcf", b, data, 256,
+		prog.Var{Name: "weights", Addr: 2 * edges, Len: edges},
+		prog.Var{Name: "dist", Addr: distBase, Len: nodes})
+}
+
+// crafty: fixed-depth minimax over a 4-ary game tree plus bitboard-style
+// mobility counting — the search/evaluate structure of a chess engine.
+func buildCrafty(seed uint32) (*prog.Program, error) {
+	const leaves = 64 // depth-3, branching 4
+	vals := words(0xC4AF^seed, leaves, 2000)
+	const minBuf = 64 // 16 first-level minima
+	const maxBuf = 80 // 4 second-level maxima
+
+	b := isa.NewBuilder()
+	// level 1: min over each group of 4 leaves
+	b.Li(1, 0)  // group
+	b.Li(2, 16) // groups
+	b.Label("l1")
+	b.Slli(3, 1, 2) // base = g*4
+	b.Lw(4, 3, 0)   // best = leaf[base]
+	b.Li(5, 1)
+	b.Label("l1k")
+	b.Add(6, 3, 5)
+	b.Lw(7, 6, 0)
+	b.Bge(7, 4, "l1skip")
+	b.Mv(4, 7)
+	b.Label("l1skip")
+	b.Addi(5, 5, 1)
+	b.Slti(8, 5, 4)
+	b.Bne(8, 0, "l1k")
+	b.Sw(4, 1, minBuf)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "l1")
+	// level 2: max over groups of 4 minima
+	b.Li(1, 0)
+	b.Li(2, 4)
+	b.Label("l2")
+	b.Slli(3, 1, 2)
+	b.Lw(4, 3, minBuf)
+	b.Li(5, 1)
+	b.Label("l2k")
+	b.Add(6, 3, 5)
+	b.Lw(7, 6, minBuf)
+	b.Blt(7, 4, "l2skip")
+	b.Mv(4, 7)
+	b.Label("l2skip")
+	b.Addi(5, 5, 1)
+	b.Slti(8, 5, 4)
+	b.Bne(8, 0, "l2k")
+	b.Sw(4, 1, maxBuf)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "l2")
+	// root: min over the 4 maxima
+	b.Lw(4, 0, maxBuf)
+	b.Li(5, 1)
+	b.Label("root")
+	b.Lw(7, 5, maxBuf)
+	b.Bge(7, 4, "rskip")
+	b.Mv(4, 7)
+	b.Label("rskip")
+	b.Addi(5, 5, 1)
+	b.Slti(8, 5, 4)
+	b.Bne(8, 0, "root")
+	b.Out(4)
+	// mobility: popcount of two board words derived from the leaf values
+	b.Lw(9, 0, 0)
+	b.Lw(10, 0, 1)
+	b.Xor(9, 9, 10)
+	b.Li(10, 0) // popcount
+	b.Li(11, 32)
+	b.Label("pop")
+	b.Andi(12, 9, 1)
+	b.Add(10, 10, 12)
+	b.Srli(9, 9, 1)
+	b.Addi(11, 11, -1)
+	b.Bne(11, 0, "pop")
+	b.Out(10)
+	b.Halt()
+	return finish("crafty", b, vals, 256,
+		prog.Var{Name: "leaves", Addr: 0, Len: leaves},
+		prog.Var{Name: "minima", Addr: minBuf, Len: 16})
+}
+
+// parser: tokenizer/grammar pass — bracket balance, maximum nesting depth
+// and bigram counting over a token stream.
+func buildParser(seed uint32) (*prog.Program, error) {
+	const n = 100
+	x := xorshift32(0x9A25 ^ seed)
+	toks := make([]uint32, n)
+	depth := 0
+	for i := range toks {
+		t := x.intn(8)
+		if t == 1 {
+			depth++
+		}
+		if t == 2 {
+			if depth == 0 {
+				t = 3
+			} else {
+				depth--
+			}
+		}
+		toks[i] = t
+	}
+	b := isa.NewBuilder()
+	b.Li(1, 0)  // i
+	b.Li(2, n)  // limit
+	b.Li(3, 0)  // depth
+	b.Li(4, 0)  // maxdepth
+	b.Li(5, 0)  // bigram count (3 followed by 4)
+	b.Li(6, 0)  // prev token
+	b.Li(13, 0) // unbalanced flag
+	b.Label("loop")
+	b.Lw(7, 1, 0)
+	b.Li(8, 1)
+	b.Bne(7, 8, "notopen")
+	b.Addi(3, 3, 1)
+	b.Blt(4, 3, "newmax")
+	b.Jmp("next")
+	b.Label("newmax")
+	b.Mv(4, 3)
+	b.Jmp("next")
+	b.Label("notopen")
+	b.Li(8, 2)
+	b.Bne(7, 8, "notclose")
+	b.Addi(3, 3, -1)
+	b.Bge(3, 0, "next")
+	b.Li(13, 1) // underflow
+	b.Li(3, 0)
+	b.Jmp("next")
+	b.Label("notclose")
+	// bigram: prev==3 && cur==4
+	b.Li(8, 3)
+	b.Bne(6, 8, "next")
+	b.Li(8, 4)
+	b.Bne(7, 8, "next")
+	b.Addi(5, 5, 1)
+	b.Label("next")
+	b.Mv(6, 7)
+	b.Sw(3, 1, 128) // depth trace (parse-state variable)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "loop")
+	b.Out(4)  // max depth
+	b.Out(5)  // bigrams
+	b.Out(3)  // final depth (balance)
+	b.Out(13) // underflow flag
+	b.Halt()
+	return finish("parser", b, toks, 256,
+		prog.Var{Name: "tokens", Addr: 0, Len: n},
+		prog.Var{Name: "depth_trace", Addr: 128, Len: n})
+}
+
+// gcc: stack-machine evaluation of RPN expression streams — the constant
+// folding / expression evaluation inner loops of a compiler.
+func buildGcc(seed uint32) (*prog.Program, error) {
+	// opcodes: 0..999 push literal; 1001 add; 1002 sub; 1003 mul; 1004 dup
+	sx := xorshift32(0x6CC5) // structure rng: fixed so code is seed-invariant
+	vx := xorshift32(0x6CC5 ^ seed)
+	var rpn []uint32
+	stack := 0
+	for len(rpn) < 90 {
+		if stack >= 2 && sx.intn(2) == 0 {
+			rpn = append(rpn, 1001+sx.intn(3))
+			stack--
+		} else if stack >= 1 && sx.intn(4) == 0 {
+			rpn = append(rpn, 1004)
+			stack++
+		} else {
+			rpn = append(rpn, vx.intn(1000))
+			stack++
+		}
+	}
+	// fold everything down to one value
+	for stack > 1 {
+		rpn = append(rpn, 1001)
+		stack--
+	}
+	n := len(rpn)
+	const stk = 128
+	b := isa.NewBuilder()
+	b.Li(1, 0) // ip
+	b.Li(2, int32(n))
+	b.Li(3, stk) // sp (grows up)
+	b.Label("loop")
+	b.Beq(1, 2, "done")
+	b.Lw(4, 1, 0) // op
+	b.Li(5, 1000)
+	b.Blt(4, 5, "push")
+	b.Li(5, 1001)
+	b.Beq(4, 5, "add")
+	b.Li(5, 1002)
+	b.Beq(4, 5, "sub")
+	b.Li(5, 1003)
+	b.Beq(4, 5, "mul")
+	// dup
+	b.Lw(6, 3, -1)
+	b.Sw(6, 3, 0)
+	b.Addi(3, 3, 1)
+	b.Jmp("next")
+	b.Label("push")
+	b.Sw(4, 3, 0)
+	b.Addi(3, 3, 1)
+	b.Jmp("next")
+	b.Label("add")
+	b.Lw(6, 3, -1)
+	b.Lw(7, 3, -2)
+	b.Add(6, 7, 6)
+	b.Sw(6, 3, -2)
+	b.Addi(3, 3, -1)
+	b.Jmp("next")
+	b.Label("sub")
+	b.Lw(6, 3, -1)
+	b.Lw(7, 3, -2)
+	b.Sub(6, 7, 6)
+	b.Sw(6, 3, -2)
+	b.Addi(3, 3, -1)
+	b.Jmp("next")
+	b.Label("mul")
+	b.Lw(6, 3, -1)
+	b.Lw(7, 3, -2)
+	b.Mul(6, 7, 6)
+	b.Sw(6, 3, -2)
+	b.Addi(3, 3, -1)
+	b.Label("next")
+	b.Addi(1, 1, 1)
+	b.Jmp("loop")
+	b.Label("done")
+	b.Lw(6, 3, -1)
+	b.Out(6) // expression value
+	b.Li(5, stk+1)
+	b.Sub(5, 3, 5)
+	b.Out(5) // stack balance check (0)
+	b.Halt()
+	return finish("gcc", b, rpn, 256,
+		prog.Var{Name: "rpn", Addr: 0, Len: n},
+		prog.Var{Name: "stack", Addr: stk, Len: 32})
+}
+
+// vpr: wirelength cost of a placement plus greedy improvement passes — the
+// inner loop of simulated-annealing placement.
+func buildVpr(seed uint32) (*prog.Program, error) {
+	const cells = 12
+	const nets = 14
+	x := xorshift32(0x7B90 ^ seed)
+	data := make([]uint32, cells+2*nets)
+	perm := make([]uint32, cells)
+	for i := range perm {
+		perm[i] = uint32(i * 4)
+	}
+	for i := range perm {
+		j := x.intn(uint32(len(perm)))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	copy(data, perm)
+	for e := 0; e < nets; e++ {
+		a := x.intn(cells)
+		bb := x.intn(cells)
+		if a == bb {
+			bb = (bb + 1) % cells
+		}
+		data[cells+2*e] = a
+		data[cells+2*e+1] = bb
+	}
+	const netBase = cells
+	// cost subroutine: r10 <- total cost; clobbers r1,r4..r9
+	costFn := func(b *isa.Builder, tag string) {
+		b.Li(10, 0)
+		b.Li(1, 0)
+		b.Li(2, nets)
+		b.Label("c" + tag)
+		b.Slli(4, 1, 1)
+		b.Lw(5, 4, netBase)   // a
+		b.Lw(6, 4, netBase+1) // b
+		b.Lw(7, 5, 0)         // pos[a]
+		b.Lw(8, 6, 0)         // pos[b]
+		b.Sub(9, 7, 8)
+		b.Srai(4, 9, 31)
+		b.Xor(9, 9, 4)
+		b.Sub(9, 9, 4) // abs
+		b.Add(10, 10, 9)
+		b.Addi(1, 1, 1)
+		b.Bne(1, 2, "c"+tag)
+	}
+	b := isa.NewBuilder()
+	costFn(b, "0")
+	b.Out(10)    // initial cost
+	b.Mv(13, 10) // best cost
+	// two greedy passes of adjacent swaps
+	b.Li(11, 0) // pass
+	b.Label("pass")
+	b.Li(12, 0) // cell i
+	b.Label("swp")
+	// swap pos[i], pos[i+1]
+	b.Lw(4, 12, 0)
+	b.Lw(5, 12, 1)
+	b.Sw(5, 12, 0)
+	b.Sw(4, 12, 1)
+	costFn(b, "s")
+	b.Blt(10, 13, "keep")
+	// revert
+	b.Lw(4, 12, 0)
+	b.Lw(5, 12, 1)
+	b.Sw(5, 12, 0)
+	b.Sw(4, 12, 1)
+	b.Jmp("nosave")
+	b.Label("keep")
+	b.Mv(13, 10)
+	b.Label("nosave")
+	b.Addi(12, 12, 1)
+	b.Slti(4, 12, cells-1)
+	b.Bne(4, 0, "swp")
+	b.Addi(11, 11, 1)
+	b.Slti(4, 11, 2)
+	b.Bne(4, 0, "pass")
+	b.Out(13) // improved cost
+	b.Halt()
+	return finish("vpr", b, data, 256,
+		prog.Var{Name: "pos", Addr: 0, Len: cells})
+}
+
+// vortex: open-addressing hash-table inserts and probes — the in-memory
+// object-database access pattern of vortex.
+func buildVortex(seed uint32) (*prog.Program, error) {
+	const tblSize = 32
+	const nKeys = 20
+	const keys = 64 // key array base
+	const tbl = 96  // hash table base
+	x := xorshift32(0x50F7 ^ seed)
+	data := make([]uint32, keys+nKeys*2)
+	for i := 0; i < nKeys; i++ {
+		data[keys+i] = 1 + x.intn(4000) // insert set (nonzero)
+	}
+	for i := 0; i < nKeys; i++ {
+		if i%2 == 0 {
+			data[keys+nKeys+i] = data[keys+i] // present
+		} else {
+			data[keys+nKeys+i] = 1 + x.intn(4000)
+		}
+	}
+	b := isa.NewBuilder()
+	// clear table
+	b.Li(1, 0)
+	b.Li(2, tblSize)
+	b.Label("clr")
+	b.Sw(0, 1, tbl)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "clr")
+	// insert keys
+	b.Li(1, 0)
+	b.Li(2, nKeys)
+	b.Label("ins")
+	b.Lw(3, 1, keys)
+	b.Andi(4, 3, tblSize-1) // slot = key & 31
+	b.Label("probe")
+	b.Add(5, 4, 0)
+	b.Lw(6, 5, tbl)
+	b.Beq(6, 0, "empty")
+	b.Beq(6, 3, "dupdone") // already inserted
+	b.Addi(4, 4, 1)
+	b.Andi(4, 4, tblSize-1)
+	b.Jmp("probe")
+	b.Label("empty")
+	b.Sw(3, 5, tbl)
+	b.Label("dupdone")
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "ins")
+	// lookups
+	b.Li(1, 0)
+	b.Li(9, 0)  // hits
+	b.Li(10, 0) // probes
+	b.Label("lkp")
+	b.Lw(3, 1, keys+nKeys)
+	b.Andi(4, 3, tblSize-1)
+	b.Li(7, 0) // probe count for this key
+	b.Label("lprobe")
+	b.Addi(7, 7, 1)
+	b.Li(8, tblSize)
+	b.Bge(7, 8, "miss") // table scanned
+	b.Add(5, 4, 0)
+	b.Lw(6, 5, tbl)
+	b.Beq(6, 0, "miss")
+	b.Beq(6, 3, "hit")
+	b.Addi(4, 4, 1)
+	b.Andi(4, 4, tblSize-1)
+	b.Jmp("lprobe")
+	b.Label("hit")
+	b.Addi(9, 9, 1)
+	b.Label("miss")
+	b.Add(10, 10, 7)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "lkp")
+	b.Out(9)
+	b.Out(10)
+	b.Halt()
+	return finish("vortex", b, data, 256,
+		prog.Var{Name: "keys", Addr: keys, Len: nKeys},
+		prog.Var{Name: "table", Addr: tbl, Len: tblSize})
+}
+
+// gap: modular exponentiation and gcd chains — computational group theory's
+// arithmetic kernels.
+func buildGap(seed uint32) (*prog.Program, error) {
+	const pairs = 10
+	x := xorshift32(0x6A90 ^ seed)
+	data := make([]uint32, 2*pairs)
+	for i := 0; i < pairs; i++ {
+		data[2*i] = 2 + x.intn(500)
+		data[2*i+1] = 1 + x.intn(120)
+	}
+	const mod = 9973
+	b := isa.NewBuilder()
+	b.Li(1, 0) // pair idx
+	b.Li(2, pairs)
+	b.Li(9, 0)  // modexp accumulator
+	b.Li(10, 0) // gcd accumulator
+	b.Li(11, mod)
+	b.Label("pair")
+	b.Slli(3, 1, 1)
+	b.Lw(4, 3, 0) // base
+	b.Lw(5, 3, 1) // exp
+	// modexp: r6 = base^exp mod m (square and multiply, LSB first)
+	b.Li(6, 1)
+	b.Rem(4, 4, 11)
+	b.Label("sq")
+	b.Beq(5, 0, "sqdone")
+	b.Andi(7, 5, 1)
+	b.Beq(7, 0, "nomul")
+	b.Mul(6, 6, 4)
+	b.Rem(6, 6, 11)
+	b.Label("nomul")
+	b.Mul(4, 4, 4)
+	b.Rem(4, 4, 11)
+	b.Srli(5, 5, 1)
+	b.Jmp("sq")
+	b.Label("sqdone")
+	b.Add(9, 9, 6)
+	// gcd(base0, exp0) via Euclid on the original pair
+	b.Lw(4, 3, 0)
+	b.Lw(5, 3, 1)
+	b.Label("gcd")
+	b.Beq(5, 0, "gdone")
+	b.Rem(7, 4, 5)
+	b.Mv(4, 5)
+	b.Mv(5, 7)
+	b.Jmp("gcd")
+	b.Label("gdone")
+	b.Add(10, 10, 4)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "pair")
+	b.Out(9)
+	b.Out(10)
+	b.Halt()
+	return finish("gap", b, data, 128,
+		prog.Var{Name: "pairs", Addr: 0, Len: 2 * pairs})
+}
+
+// perlbmk: string hashing and pattern counting — the interpreter's hash and
+// match primitives.
+func buildPerlbmk(seed uint32) (*prog.Program, error) {
+	const n = 120
+	text := words(0x9E71^seed, n, 26)
+	b := isa.NewBuilder()
+	b.Li(1, 0)
+	b.Li(2, n)
+	b.Li(9, 5381) // djb2 seed
+	b.Li(10, 0)   // pattern count: 'a'(0) followed by 'b'(1)
+	b.Li(6, 99)   // prev
+	b.Label("loop")
+	b.Lw(5, 1, 0)
+	// h = h*33 + c
+	b.Slli(7, 9, 5)
+	b.Add(9, 7, 9)
+	b.Add(9, 9, 5)
+	// pattern
+	b.Bne(6, 0, "nopat")
+	b.Li(7, 1)
+	b.Bne(5, 7, "nopat")
+	b.Addi(10, 10, 1)
+	b.Label("nopat")
+	b.Mv(6, 5)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "loop")
+	b.Out(9)
+	b.Out(10)
+	b.Halt()
+	return finish("perlbmk", b, text, 256,
+		prog.Var{Name: "text", Addr: 0, Len: n})
+}
+
+// eon: fixed-point 8.8 lighting — dot products and clamping over a vertex
+// array, the integer analog of eon's ray tracing arithmetic.
+func buildEon(seed uint32) (*prog.Program, error) {
+	const verts = 14
+	x := xorshift32(0xE0E0 ^ seed)
+	data := make([]uint32, 3*verts+3)
+	for i := range data {
+		data[i] = x.intn(512) // 8.8 fixed point in [0,2)
+	}
+	const light = 3 * verts
+	b := isa.NewBuilder()
+	b.Li(1, 0) // vertex idx
+	b.Li(2, verts)
+	b.Li(9, 0) // intensity accumulator
+	b.Lw(10, 0, light)
+	b.Lw(11, 0, light+1)
+	b.Lw(12, 0, light+2)
+	b.Label("vloop")
+	b.Slli(3, 1, 1)
+	b.Add(3, 3, 1) // 3*i
+	b.Lw(4, 3, 0)
+	b.Lw(5, 3, 1)
+	b.Lw(6, 3, 2)
+	b.Mul(4, 4, 10)
+	b.Mul(5, 5, 11)
+	b.Mul(6, 6, 12)
+	b.Add(4, 4, 5)
+	b.Add(4, 4, 6)
+	b.Srai(4, 4, 8) // back to 8.8
+	b.Bge(4, 0, "pos")
+	b.Li(4, 0) // clamp negatives
+	b.Label("pos")
+	b.Add(9, 9, 4)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "vloop")
+	b.Out(9)
+	b.Halt()
+	return finish("eon", b, data, 128,
+		prog.Var{Name: "verts", Addr: 0, Len: 3 * verts})
+}

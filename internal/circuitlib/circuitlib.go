@@ -1,0 +1,55 @@
+// Package circuitlib is the resilient flip-flop library (paper Table 4):
+// LEAP-DICE, Light Hardened LEAP, LEAP-ctrl and EDS cells with their soft
+// error rate and area/power/delay/energy ratios relative to a baseline
+// flip-flop. These ratios are radiation-test-calibrated inputs to CLEAR
+// (not outputs), so they are taken directly from the paper.
+package circuitlib
+
+// FFType identifies a flip-flop cell in the library.
+type FFType int
+
+// Library cells. Baseline is the unhardened flip-flop.
+const (
+	Baseline FFType = iota
+	LHL             // Light Hardened LEAP
+	LEAPDICE
+	LEAPCtrlEconomy   // LEAP-ctrl operating in economy (low-power) mode
+	LEAPCtrlResilient // LEAP-ctrl operating in resilient mode
+	EDS               // Error Detection Sequential (detects, does not correct)
+)
+
+// Cell describes one library flip-flop.
+type Cell struct {
+	Name string
+	// SERRatio is the soft error rate relative to baseline (1.0). For EDS
+	// errors are detected rather than suppressed: SERRatio stays 1 and
+	// Detects is true.
+	SERRatio float64
+	Area     float64
+	Power    float64
+	Delay    float64
+	Energy   float64
+	Detects  bool
+}
+
+var cells = map[FFType]Cell{
+	Baseline:          {Name: "Baseline", SERRatio: 1, Area: 1, Power: 1, Delay: 1, Energy: 1},
+	LHL:               {Name: "Light Hardened LEAP (LHL)", SERRatio: 2.5e-1, Area: 1.2, Power: 1.1, Delay: 1.2, Energy: 1.3},
+	LEAPDICE:          {Name: "LEAP-DICE", SERRatio: 2.0e-4, Area: 2.0, Power: 1.8, Delay: 1, Energy: 1.8},
+	LEAPCtrlEconomy:   {Name: "LEAP-ctrl (economy mode)", SERRatio: 1, Area: 3.1, Power: 1.2, Delay: 1, Energy: 1.2},
+	LEAPCtrlResilient: {Name: "LEAP-ctrl (resilient mode)", SERRatio: 2.0e-4, Area: 3.1, Power: 2.2, Delay: 1, Energy: 2.2},
+	EDS:               {Name: "EDS", SERRatio: 1, Area: 1.5, Power: 1.4, Delay: 1, Energy: 1.4, Detects: true},
+}
+
+// Get returns the library cell for t.
+func Get(t FFType) Cell { return cells[t] }
+
+// All returns the library in display order (Table 4).
+func All() []Cell {
+	order := []FFType{Baseline, LHL, LEAPDICE, LEAPCtrlEconomy, LEAPCtrlResilient, EDS}
+	out := make([]Cell, len(order))
+	for i, t := range order {
+		out[i] = cells[t]
+	}
+	return out
+}

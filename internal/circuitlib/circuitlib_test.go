@@ -1,0 +1,65 @@
+package circuitlib
+
+import "testing"
+
+func TestTable4Values(t *testing.T) {
+	d := Get(LEAPDICE)
+	if d.SERRatio != 2.0e-4 || d.Area != 2.0 || d.Energy != 1.8 || d.Delay != 1 {
+		t.Fatalf("LEAP-DICE cell wrong: %+v", d)
+	}
+	l := Get(LHL)
+	if l.SERRatio != 0.25 || l.Area != 1.2 {
+		t.Fatalf("LHL cell wrong: %+v", l)
+	}
+	e := Get(EDS)
+	if !e.Detects || e.SERRatio != 1 || e.Area != 1.5 {
+		t.Fatalf("EDS cell wrong: %+v", e)
+	}
+	b := Get(Baseline)
+	if b.Area != 1 || b.Power != 1 || b.SERRatio != 1 {
+		t.Fatalf("baseline not unity: %+v", b)
+	}
+}
+
+func TestLEAPCtrlModes(t *testing.T) {
+	eco := Get(LEAPCtrlEconomy)
+	res := Get(LEAPCtrlResilient)
+	if eco.Area != res.Area {
+		t.Fatal("LEAP-ctrl is one cell: same area in both modes")
+	}
+	if !(eco.Power < res.Power) {
+		t.Fatal("economy mode must draw less power")
+	}
+	if !(eco.SERRatio > res.SERRatio) {
+		t.Fatal("economy mode sacrifices resilience")
+	}
+	if res.SERRatio != Get(LEAPDICE).SERRatio {
+		t.Fatal("resilient mode should match LEAP-DICE hardness")
+	}
+}
+
+func TestHardnessCostMonotonicity(t *testing.T) {
+	// more soft-error protection must not come for free
+	lhl, dice := Get(LHL), Get(LEAPDICE)
+	if !(dice.SERRatio < lhl.SERRatio) {
+		t.Fatal("DICE must be harder than LHL")
+	}
+	if !(dice.Energy > lhl.Energy) {
+		t.Fatal("DICE must cost more energy than LHL")
+	}
+}
+
+func TestAllOrderAndCount(t *testing.T) {
+	cells := All()
+	if len(cells) != 6 {
+		t.Fatalf("library has %d cells, want 6", len(cells))
+	}
+	if cells[0].Name != "Baseline" || cells[2].Name != "LEAP-DICE" {
+		t.Fatalf("display order wrong: %v, %v", cells[0].Name, cells[2].Name)
+	}
+	for _, c := range cells {
+		if c.Name == "" || c.Area <= 0 || c.Power <= 0 {
+			t.Fatalf("degenerate cell %+v", c)
+		}
+	}
+}

@@ -1,0 +1,316 @@
+package core
+
+import (
+	"math"
+	"strings"
+
+	"clear/internal/archres"
+	"clear/internal/bench"
+	"clear/internal/inject"
+	"clear/internal/power"
+	"clear/internal/recovery"
+	"clear/internal/stack"
+)
+
+// Combo is one cross-layer combination: a set of techniques spanning the
+// stack plus a recovery choice.
+type Combo struct {
+	DICE, Parity, EDS bool
+	Variant           Variant
+	Recovery          recovery.Kind
+}
+
+// Name renders a readable combination label.
+func (c Combo) Name() string {
+	var parts []string
+	switch c.Variant.ABFT {
+	case ABFTCorr:
+		parts = append(parts, "ABFT-c")
+	case ABFTDet:
+		parts = append(parts, "ABFT-d")
+	}
+	for _, s := range c.Variant.SW {
+		parts = append(parts, s.String())
+	}
+	if c.Variant.Monitor {
+		parts = append(parts, "Monitor")
+	}
+	if c.Variant.DFC {
+		parts = append(parts, "DFC")
+	}
+	if c.DICE {
+		parts = append(parts, "LEAP-DICE")
+	}
+	if c.Parity {
+		parts = append(parts, "Parity")
+	}
+	if c.EDS {
+		parts = append(parts, "EDS")
+	}
+	if len(parts) == 0 {
+		parts = append(parts, "unprotected")
+	}
+	s := strings.Join(parts, "+")
+	if c.Recovery != recovery.None {
+		s += " (+" + c.Recovery.String() + ")"
+	}
+	return s
+}
+
+// HasLowLevel reports whether selective circuit/logic insertion is part of
+// the combination.
+func (c Combo) HasLowLevel() bool { return c.DICE || c.Parity || c.EDS }
+
+// Outcome is the evaluated result of a combination on one benchmark.
+type Outcome struct {
+	SDCImp    float64
+	DUEImp    float64
+	Cost      power.Cost
+	Gamma     float64
+	Protected int // flip-flops given circuit/logic protection
+	TargetMet bool
+}
+
+// highLevelGamma returns the γ overhead factors contributed by the high
+// layers of a combination: checker flip-flops and execution-time increase.
+func (e *Engine) highLevelGamma(c Combo, execOverhead float64) float64 {
+	var ffOv, timeOv []float64
+	if c.Variant.DFC {
+		ffOv = append(ffOv, archres.DFCFFOverhead(e.Kind.String()))
+		if e.Kind == inject.InO {
+			timeOv = append(timeOv, archres.DFCExecImpactInO)
+		} else {
+			timeOv = append(timeOv, archres.DFCExecImpactOoO)
+		}
+	}
+	if c.Variant.Monitor {
+		ffOv = append(ffOv, archres.MonitorFFOverhead)
+	}
+	if execOverhead > 0 {
+		timeOv = append(timeOv, execOverhead)
+	}
+	if c.Recovery == recovery.Flush {
+		timeOv = append(timeOv, recovery.Cost(recovery.Flush, "InO").ExecTime)
+	}
+	return stack.Gamma(ffOv, timeOv)
+}
+
+// highLevelCost sums the hardware/execution costs of a combination's high
+// layers (the software/algorithm execution overhead is measured).
+func (e *Engine) highLevelCost(c Combo, execOverhead float64) power.Cost {
+	cost := power.Cost{ExecTime: execOverhead}
+	if c.Variant.DFC {
+		cost = cost.Plus(archres.DFCCost(e.Model))
+	}
+	if c.Variant.Monitor {
+		cost = cost.Plus(archres.MonitorCost(e.Model))
+	}
+	return cost
+}
+
+// EvalCombo evaluates a combination on one benchmark against a target
+// improvement in the given metric (math.Inf(1) for the "max" design
+// point). It implements the paper's top-down methodology: the high layers'
+// residual vulnerability is measured by injection, then Heuristic 1 closes
+// the remaining gap.
+func (e *Engine) EvalCombo(b *bench.Benchmark, c Combo, metric Metric, target float64) (Outcome, error) {
+	out, _, err := e.PlanCombo(b, c, metric, target)
+	return out, err
+}
+
+// PlanCombo is EvalCombo returning the concrete implementation plan as well
+// (used for plan post-processing such as LEAP-ctrl augmentation).
+func (e *Engine) PlanCombo(b *bench.Benchmark, c Combo, metric Metric, target float64) (Outcome, *Plan, error) {
+	baseRes, err := e.Base(b)
+	if err != nil {
+		return Outcome{}, nil, err
+	}
+	techRes := baseRes
+	if c.Variant.Tag() != "base" {
+		techRes, err = e.Campaign(b, c.Variant)
+		if err != nil {
+			return Outcome{}, nil, err
+		}
+	}
+	execOv, err := e.ExecOverhead(b, c.Variant)
+	if err != nil {
+		return Outcome{}, nil, err
+	}
+
+	baseSDCRate := float64(baseRes.Totals.SDC()) / float64(baseRes.Totals.N)
+	baseDUERate := float64(baseRes.Totals.UT+baseRes.Totals.Hang) / float64(baseRes.Totals.N)
+	fixedGamma := e.highLevelGamma(c, execOv)
+
+	opt := HardenOptions{
+		DICE: c.DICE, Parity: c.Parity, EDS: c.EDS,
+		Recovery:    c.Recovery,
+		FixedGamma:  fixedGamma,
+		BaseSDCRate: baseSDCRate,
+		BaseDUERate: baseDUERate,
+	}
+	plan := e.SelectiveHarden(techRes, opt, metric, target)
+	out, err := e.finishOutcome(c, techRes, plan, opt, execOv, target, metric)
+	return out, plan, err
+}
+
+// OutcomeForPlan evaluates a fixed plan under a combination's high layers
+// on one benchmark (used after plan post-processing).
+func (e *Engine) OutcomeForPlan(b *bench.Benchmark, c Combo, plan *Plan) (Outcome, error) {
+	baseRes, err := e.Base(b)
+	if err != nil {
+		return Outcome{}, err
+	}
+	techRes := baseRes
+	if c.Variant.Tag() != "base" {
+		techRes, err = e.Campaign(b, c.Variant)
+		if err != nil {
+			return Outcome{}, err
+		}
+	}
+	execOv, err := e.ExecOverhead(b, c.Variant)
+	if err != nil {
+		return Outcome{}, err
+	}
+	opt := HardenOptions{
+		Recovery:    c.Recovery,
+		FixedGamma:  e.highLevelGamma(c, execOv),
+		BaseSDCRate: float64(baseRes.Totals.SDC()) / float64(baseRes.Totals.N),
+		BaseDUERate: float64(baseRes.Totals.UT+baseRes.Totals.Hang) / float64(baseRes.Totals.N),
+	}
+	return e.finishOutcome(c, techRes, plan, opt, execOv, math.Inf(1), SDC)
+}
+
+// EvalComboJoint meets SDC and DUE targets simultaneously (Table 20).
+func (e *Engine) EvalComboJoint(b *bench.Benchmark, c Combo, target float64) (Outcome, error) {
+	baseRes, err := e.Base(b)
+	if err != nil {
+		return Outcome{}, err
+	}
+	techRes := baseRes
+	if c.Variant.Tag() != "base" {
+		techRes, err = e.Campaign(b, c.Variant)
+		if err != nil {
+			return Outcome{}, err
+		}
+	}
+	execOv, err := e.ExecOverhead(b, c.Variant)
+	if err != nil {
+		return Outcome{}, err
+	}
+	opt := HardenOptions{
+		DICE: c.DICE, Parity: c.Parity, EDS: c.EDS,
+		Recovery:    c.Recovery,
+		FixedGamma:  e.highLevelGamma(c, execOv),
+		BaseSDCRate: float64(baseRes.Totals.SDC()) / float64(baseRes.Totals.N),
+		BaseDUERate: float64(baseRes.Totals.UT+baseRes.Totals.Hang) / float64(baseRes.Totals.N),
+	}
+	plan := e.JointHarden(techRes, opt, target)
+	out, err := e.finishOutcome(c, techRes, plan, opt, execOv, target, SDC)
+	if err != nil {
+		return out, err
+	}
+	out.TargetMet = out.SDCImp >= target && out.DUEImp >= target ||
+		math.IsInf(target, 1)
+	return out, nil
+}
+
+func (e *Engine) finishOutcome(c Combo, techRes *inject.Result, plan *Plan,
+	opt HardenOptions, execOv, target float64, metric Metric) (Outcome, error) {
+	resid := e.Evaluate(techRes, plan)
+	sdcR, dueR := rates(techRes, resid)
+	gamma := opt.FixedGamma * (1 + e.PlanFFOverhead(plan))
+
+	out := Outcome{
+		SDCImp: stack.Improvement(opt.BaseSDCRate, sdcR, gamma),
+		DUEImp: stack.Improvement(opt.BaseDUERate, dueR, gamma),
+		Gamma:  gamma,
+	}
+	for _, a := range plan.Assign {
+		if a != CellNone {
+			out.Protected++
+		}
+	}
+	// cost: high layers (with measured exec overhead) + implementation plan
+	out.Cost = e.highLevelCost(c, execOv).Plus(e.PlanCost(plan))
+	if math.IsInf(target, 1) {
+		out.TargetMet = true
+	} else if metric == SDC {
+		out.TargetMet = out.SDCImp >= target
+	} else {
+		out.TargetMet = out.DUEImp >= target
+	}
+	return out, nil
+}
+
+// AvgOutcome averages a combination across benchmarks at a target: costs
+// are averaged (the paper builds one design per benchmark and averages),
+// improvements are computed from aggregate error counts.
+type AvgOutcome struct {
+	Combo    Combo
+	Target   float64
+	Metric   Metric
+	SDCImp   float64
+	DUEImp   float64
+	Cost     power.Cost
+	NBench   int
+	TargetOK bool
+}
+
+// EvalComboAvg evaluates a combination over the core's full benchmark list.
+func (e *Engine) EvalComboAvg(c Combo, metric Metric, target float64) (AvgOutcome, error) {
+	bs := e.Benchmarks()
+	avg := AvgOutcome{Combo: c, Target: target, Metric: metric, TargetOK: true}
+	var sumSDC, sumDUE, sumGamma float64
+	n := 0
+	for _, b := range bs {
+		out, err := e.EvalCombo(b, c, metric, target)
+		if err != nil {
+			return avg, err
+		}
+		avg.Cost.Area += out.Cost.Area
+		avg.Cost.Power += out.Cost.Power
+		avg.Cost.ExecTime += out.Cost.ExecTime
+		sumSDC += invOrCap(out.SDCImp)
+		sumDUE += invOrCap(out.DUEImp)
+		sumGamma += out.Gamma
+		if !out.TargetMet {
+			avg.TargetOK = false
+		}
+		n++
+	}
+	if n == 0 {
+		return avg, nil
+	}
+	avg.Cost.Area /= float64(n)
+	avg.Cost.Power /= float64(n)
+	avg.Cost.ExecTime /= float64(n)
+	// harmonic-style average: mean of reciprocals, robust to +Inf points
+	avg.SDCImp = float64(n) / sumSDC
+	avg.DUEImp = float64(n) / sumDUE
+	avg.NBench = n
+	return avg, nil
+}
+
+// invOrCap maps an improvement to its reciprocal, treating +Inf (fully
+// protected) as zero residual.
+func invOrCap(imp float64) float64 {
+	if math.IsInf(imp, 1) {
+		return 0
+	}
+	if imp <= 0 {
+		return 1
+	}
+	return 1 / imp
+}
+
+// HighLevelGamma exposes the γ contribution of a combination's high layers
+// for external reporting (experiments harness).
+func (e *Engine) HighLevelGamma(c Combo, execOverhead float64) float64 {
+	return e.highLevelGamma(c, execOverhead)
+}
+
+// HighLevelCost exposes the high-layer cost of a combination for external
+// reporting.
+func (e *Engine) HighLevelCost(c Combo, execOverhead float64) power.Cost {
+	return e.highLevelCost(c, execOverhead)
+}

@@ -1,0 +1,310 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"clear/internal/bench"
+	"clear/internal/inject"
+	"clear/internal/recovery"
+	"clear/internal/swres"
+)
+
+func TestEnumerationMatchesTable18(t *testing.T) {
+	ino := CountCombos(inject.InO)
+	if ino.NoRec != 127 || ino.QuickRec != 3 || ino.Replay != 14 {
+		t.Fatalf("InO counts %+v, want 127/3/14", ino)
+	}
+	if ino.Total != 417 {
+		t.Fatalf("InO total %d, want 417", ino.Total)
+	}
+	ooo := CountCombos(inject.OoO)
+	if ooo.NoRec != 31 || ooo.QuickRec != 7 || ooo.Replay != 30 {
+		t.Fatalf("OoO counts %+v, want 31/7/30", ooo)
+	}
+	if ooo.Total != 169 {
+		t.Fatalf("OoO total %d, want 169", ooo.Total)
+	}
+	if ino.Total+ooo.Total != 586 {
+		t.Fatalf("grand total %d, want 586", ino.Total+ooo.Total)
+	}
+	if got := len(Enumerate(inject.InO)); got != 417 {
+		t.Fatalf("Enumerate(InO) = %d combos", got)
+	}
+	if got := len(Enumerate(inject.OoO)); got != 169 {
+		t.Fatalf("Enumerate(OoO) = %d combos", got)
+	}
+}
+
+func TestVariantTags(t *testing.T) {
+	if (Variant{}).Tag() != "base" {
+		t.Fatal("empty variant tag")
+	}
+	v := Variant{ABFT: ABFTCorr, SW: []SWTechnique{SWCFCSS, SWEDDI}, EDDISrb: true, DFC: true}
+	if v.Tag() != "abftc+cfcss+eddisrb+dfc" {
+		t.Fatalf("tag = %q", v.Tag())
+	}
+}
+
+func TestComboNames(t *testing.T) {
+	c := Combo{DICE: true, Parity: true, Recovery: recovery.Flush}
+	if c.Name() != "LEAP-DICE+Parity (+flush)" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	if (Combo{}).Name() != "unprotected" {
+		t.Fatalf("empty combo name = %q", (Combo{}).Name())
+	}
+}
+
+// engine with tiny sampling for unit tests (full campaigns are exercised by
+// the benchmark harness).
+func testEngine(t *testing.T) *Engine {
+	t.Helper()
+	t.Setenv("CLEAR_CACHE_DIR", t.TempDir())
+	e := NewEngine(inject.InO)
+	e.SamplesBase = 1
+	e.SamplesTech = 1
+	return e
+}
+
+func TestSelectiveHardenDICE(t *testing.T) {
+	e := testEngine(t)
+	b := bench.ByName("inner_product")
+	res, err := e.Base(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseSDC := float64(res.Totals.SDC()) / float64(res.Totals.N)
+	baseDUE := float64(res.Totals.UT+res.Totals.Hang) / float64(res.Totals.N)
+	opt := HardenOptions{DICE: true, FixedGamma: 1, BaseSDCRate: baseSDC, BaseDUERate: baseDUE}
+
+	p5 := e.SelectiveHarden(res, opt, SDC, 5)
+	p50 := e.SelectiveHarden(res, opt, SDC, 50)
+	n5, n50 := protectedCount(p5), protectedCount(p50)
+	if n5 == 0 {
+		t.Fatal("5x target protected nothing")
+	}
+	if n50 < n5 {
+		t.Fatalf("50x target protected fewer FFs (%d) than 5x (%d)", n50, n5)
+	}
+	// verify achieved improvements
+	r5 := e.Evaluate(res, p5)
+	sdcR, _ := rates(res, r5)
+	imp := baseSDC / sdcR
+	if imp < 5 {
+		t.Fatalf("5x plan only achieves %.1fx", imp)
+	}
+	// max plan protects everything
+	pmax := e.SelectiveHarden(res, opt, SDC, math.Inf(1))
+	if protectedCount(pmax) != len(res.PerFF) {
+		t.Fatalf("max plan protected %d of %d", protectedCount(pmax), len(res.PerFF))
+	}
+	// cost ordering: 5x cheaper than 50x cheaper than max
+	c5, c50, cmax := e.PlanCost(p5), e.PlanCost(p50), e.PlanCost(pmax)
+	if !(c5.Energy() <= c50.Energy() && c50.Energy() <= cmax.Energy()) {
+		t.Fatalf("cost ordering broken: %.4f %.4f %.4f", c5.Energy(), c50.Energy(), cmax.Energy())
+	}
+	t.Logf("DICE-only: 5x=%d FFs (%.2f%%E), 50x=%d (%.2f%%E), max=%d (%.2f%%E)",
+		n5, 100*c5.Energy(), n50, 100*c50.Energy(), protectedCount(pmax), 100*cmax.Energy())
+}
+
+func protectedCount(p *Plan) int {
+	n := 0
+	for _, c := range p.Assign {
+		if c != CellNone {
+			n++
+		}
+	}
+	return n
+}
+
+func TestHeuristic1CellChoice(t *testing.T) {
+	e := NewEngine(inject.InO)
+	// an unflushable FF (writeback stage) with flush recovery must be DICE
+	wbBit := e.Space.BitsOf("w.result")[0]
+	if got := e.chooseCell(wbBit, true, true, false, recovery.Flush); got != CellDICE {
+		t.Fatalf("unflushable FF got %d, want DICE", got)
+	}
+	// a fetch-stage FF with plenty of slack should take parity
+	fBit := e.Space.BitsOf("f.pc")[0]
+	if e.Pl.Slack[fBit] >= parityTreeSlack {
+		if got := e.chooseCell(fBit, true, true, false, recovery.Flush); got != CellParity {
+			t.Fatalf("recoverable slack-rich FF got %d, want parity", got)
+		}
+	}
+	// IR recovery: everything recoverable, parity preferred where slack
+	if got := e.chooseCell(wbBit, true, true, false, recovery.IR); got == CellDICE &&
+		e.Pl.Slack[wbBit] >= parityTreeSlack {
+		t.Fatal("IR-recoverable FF with slack should prefer parity")
+	}
+	// no low-level technique
+	if got := e.chooseCell(0, false, false, false, recovery.None); got != CellNone {
+		t.Fatal("no technique should assign none")
+	}
+}
+
+func TestEvaluateSemantics(t *testing.T) {
+	e := NewEngine(inject.InO)
+	res := &inject.Result{PerFF: make([]inject.FFStats, e.Space.NumBits())}
+	res.Totals.N = 100
+	// one FF with 10 samples: 4 OMM, 2 UT, 1 Hang
+	bit := e.Space.BitsOf("e.op1")[0]
+	res.PerFF[bit] = inject.FFStats{N: 10, OMM: 4, UT: 2, Hang: 1}
+
+	// unprotected
+	plan := NewPlan(e.Space.NumBits(), recovery.None)
+	r := e.Evaluate(res, plan)
+	if r.SDC != 4 || r.DUE != 3 {
+		t.Fatalf("unprotected: %+v", r)
+	}
+	// DICE: scaled by 2e-4
+	plan.Assign[bit] = CellDICE
+	r = e.Evaluate(res, plan)
+	if math.Abs(r.SDC-4*2e-4) > 1e-12 {
+		t.Fatalf("DICE SDC %.6g", r.SDC)
+	}
+	// parity without recovery: SDC 0, all 10 samples become DUE
+	plan.Assign[bit] = CellParity
+	r = e.Evaluate(res, plan)
+	if r.SDC != 0 || r.DUE != 10 {
+		t.Fatalf("parity no-recovery: %+v", r)
+	}
+	// parity + IR: everything erased
+	plan.Recovery = recovery.IR
+	r = e.Evaluate(res, plan)
+	if r.SDC != 0 || r.DUE != 0 {
+		t.Fatalf("parity+IR: %+v", r)
+	}
+	// parity + flush on an unflushable FF: detected but unrecoverable
+	wbBit := e.Space.BitsOf("w.result")[0]
+	res.PerFF[wbBit] = inject.FFStats{N: 5, OMM: 2}
+	plan2 := NewPlan(e.Space.NumBits(), recovery.Flush)
+	plan2.Assign[wbBit] = CellParity
+	r = e.Evaluate(res, plan2)
+	if r.DUE < 5 {
+		t.Fatalf("unflushable parity should yield ED: %+v", r)
+	}
+}
+
+func TestEvalComboSmall(t *testing.T) {
+	e := testEngine(t)
+	b := bench.ByName("inner_product")
+	combo := Combo{DICE: true, Parity: true, Recovery: recovery.Flush}
+	out, err := e.EvalCombo(b, combo, SDC, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.TargetMet {
+		t.Fatalf("5x SDC not met: %+v", out)
+	}
+	if out.Cost.Energy() <= 0 || out.Cost.Energy() > 0.4 {
+		t.Fatalf("energy cost %.3f implausible", out.Cost.Energy())
+	}
+	if out.Gamma < 1 {
+		t.Fatalf("gamma %.3f < 1", out.Gamma)
+	}
+	t.Logf("DICE+parity+flush @5x: SDC %.1fx DUE %.1fx energy %.2f%% γ %.3f (%d FFs)",
+		out.SDCImp, out.DUEImp, 100*out.Cost.Energy(), out.Gamma, out.Protected)
+}
+
+func TestEvalComboWithSoftware(t *testing.T) {
+	e := testEngine(t)
+	b := bench.ByName("inner_product")
+	combo := Combo{
+		DICE: true, Parity: true,
+		Variant: Variant{SW: []SWTechnique{SWEDDI}, EDDISrb: true},
+	}
+	out, err := e.EvalCombo(b, combo, SDC, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EDDI's execution-time overhead must show up in cost and gamma
+	if out.Cost.ExecTime < 0.3 {
+		t.Fatalf("EDDI exec overhead missing from cost: %+v", out.Cost)
+	}
+	if out.Gamma < 1.3 {
+		t.Fatalf("EDDI gamma %.2f too small", out.Gamma)
+	}
+}
+
+func TestBuildProgramVariants(t *testing.T) {
+	e := testEngine(t)
+	b := bench.ByName("2d_convolution")
+	// ABFT correction applies
+	p, err := e.BuildProgram(b, Variant{ABFT: ABFTCorr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "2d_convolution+abftc" {
+		t.Fatalf("got %s", p.Name)
+	}
+	// ABFT on a non-amenable benchmark falls back to the plain kernel
+	g := bench.ByName("gzip")
+	p, err = e.BuildProgram(g, Variant{ABFT: ABFTCorr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "gzip" {
+		t.Fatalf("fallback got %s", p.Name)
+	}
+	// software stacking
+	p, err = e.BuildProgram(g, Variant{SW: []SWTechnique{SWCFCSS, SWEDDI}, EDDISrb: true,
+		AssertK: swres.AssertCombined})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name != "gzip+cfcss+eddi-srb" {
+		t.Fatalf("stacked name %s", p.Name)
+	}
+}
+
+func TestVariantTagsExhaustive(t *testing.T) {
+	cases := map[string]Variant{
+		"abftd":                        {ABFT: ABFTDet},
+		"assert-data":                  {SW: []SWTechnique{SWAssertions}, AssertK: swres.AssertData},
+		"seddi":                        {SW: []SWTechnique{SWEDDI}, SelEDDI: true},
+		"eddi":                         {SW: []SWTechnique{SWEDDI}},
+		"mon.v2":                       {Monitor: true},
+		"cfcss+dfc":                    {SW: []SWTechnique{SWCFCSS}, DFC: true},
+		"abftc+assert-combined+mon.v2": {ABFT: ABFTCorr, SW: []SWTechnique{SWAssertions}, AssertK: swres.AssertCombined, Monitor: true},
+	}
+	for want, v := range cases {
+		if got := v.Tag(); got != want {
+			t.Errorf("Tag() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestEnumerateCombosAreDistinct(t *testing.T) {
+	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
+		seen := map[string]bool{}
+		for _, c := range Enumerate(kind) {
+			key := c.Name()
+			if seen[key] {
+				t.Fatalf("%v: duplicate combination %q", kind, key)
+			}
+			seen[key] = true
+		}
+	}
+}
+
+func TestEnumerateRespectsValidity(t *testing.T) {
+	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
+		coreName := kind.String()
+		for _, c := range Enumerate(kind) {
+			if !recovery.Valid(c.Recovery, coreName) {
+				t.Fatalf("%v: combo %q uses invalid recovery %v", kind, c.Name(), c.Recovery)
+			}
+			if kind == inject.InO && c.Variant.Monitor {
+				t.Fatalf("monitor core on InO: %q", c.Name())
+			}
+			if kind == inject.OoO && len(c.Variant.SW) > 0 {
+				t.Fatalf("software techniques on OoO: %q", c.Name())
+			}
+			// ABFT detection never pairs with hardware recovery
+			if c.Variant.ABFT == ABFTDet && c.Recovery != recovery.None {
+				t.Fatalf("ABFT detection with recovery: %q", c.Name())
+			}
+		}
+	}
+}

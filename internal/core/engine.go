@@ -1,0 +1,349 @@
+// Package core is the CLEAR framework proper: the cross-layer design-space
+// exploration engine. It drives fault-injection campaigns (reliability
+// analysis), the layout and power models (physical design evaluation), and
+// the resilience library into a single top-down methodology (paper Fig 6):
+// high-level techniques (algorithm, software, architecture) are applied
+// first and their residual per-flip-flop vulnerability measured; selective
+// circuit/logic protection (Heuristic 1, Fig 7) then closes the gap to the
+// SDC/DUE improvement target at minimum cost.
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"clear/internal/abft"
+	"clear/internal/archres"
+	"clear/internal/bench"
+	"clear/internal/ff"
+	"clear/internal/inject"
+	"clear/internal/ino"
+	"clear/internal/layout"
+	"clear/internal/ooo"
+	"clear/internal/power"
+	"clear/internal/prog"
+	"clear/internal/sim"
+	"clear/internal/swres"
+)
+
+// SWTechnique is a software-layer technique selector inside a combination.
+type SWTechnique int
+
+// Software techniques available to combinations.
+const (
+	SWAssertions SWTechnique = iota
+	SWCFCSS
+	SWEDDI
+)
+
+func (s SWTechnique) String() string {
+	switch s {
+	case SWAssertions:
+		return "Assertions"
+	case SWCFCSS:
+		return "CFCSS"
+	case SWEDDI:
+		return "EDDI"
+	}
+	return "?"
+}
+
+// ABFTMode selects the algorithm-layer technique of a combination.
+type ABFTMode int
+
+// Algorithm-layer choices.
+const (
+	ABFTNone ABFTMode = iota
+	ABFTCorr
+	ABFTDet
+)
+
+// Engine evaluates resilience configurations for one core design.
+type Engine struct {
+	Kind  inject.CoreKind
+	Space *ff.Space
+	Model power.Model
+	Pl    *layout.Placement
+
+	// Campaign sampling parameters (per flip-flop).
+	SamplesBase int
+	SamplesTech int
+	Seed        uint64
+
+	mu        sync.Mutex
+	campaigns map[string]*inject.Result
+	overheads map[string]float64
+	programs  map[string]*prog.Program
+}
+
+// NewEngine returns an engine for the given core with default sampling.
+func NewEngine(kind inject.CoreKind) *Engine {
+	e := &Engine{
+		Kind:      kind,
+		Seed:      0xC1EA5,
+		campaigns: make(map[string]*inject.Result),
+		overheads: make(map[string]float64),
+		programs:  make(map[string]*prog.Program),
+	}
+	if kind == inject.InO {
+		e.Space = ino.Space()
+		e.Model = power.InO()
+		e.Pl = layout.Place(e.Space, layout.InOProfile())
+		e.SamplesBase = 24
+		e.SamplesTech = 2
+	} else {
+		e.Space = ooo.Space()
+		e.Model = power.OoO()
+		e.Pl = layout.Place(e.Space, layout.OoOProfile())
+		e.SamplesBase = 3
+		e.SamplesTech = 2
+	}
+	return e
+}
+
+// Benchmarks returns the benchmark list for this core (the paper's 18 for
+// the in-order core, 11 for the out-of-order core).
+func (e *Engine) Benchmarks() []*bench.Benchmark {
+	if e.Kind == inject.InO {
+		return bench.All()
+	}
+	return bench.ForOoO()
+}
+
+// Variant describes the program/checker configuration of a campaign: the
+// high layers of a combination.
+type Variant struct {
+	ABFT    ABFTMode
+	SW      []SWTechnique // applied in canonical order: CFCSS, assertions, EDDI
+	AssertK swres.AssertKind
+	EDDISrb bool // store-readback
+	SelEDDI bool
+	DFC     bool
+	Monitor bool
+}
+
+// Tag returns the cache tag of the variant ("base" when empty).
+func (v Variant) Tag() string {
+	var parts []string
+	switch v.ABFT {
+	case ABFTCorr:
+		parts = append(parts, "abftc")
+	case ABFTDet:
+		parts = append(parts, "abftd")
+	}
+	for _, s := range v.SW {
+		switch s {
+		case SWAssertions:
+			parts = append(parts, "assert-"+v.AssertK.String())
+		case SWCFCSS:
+			parts = append(parts, "cfcss")
+		case SWEDDI:
+			if v.SelEDDI {
+				parts = append(parts, "seddi")
+			} else if v.EDDISrb {
+				parts = append(parts, "eddisrb")
+			} else {
+				parts = append(parts, "eddi")
+			}
+		}
+	}
+	if v.DFC {
+		parts = append(parts, "dfc"+versionSuffix(archres.DFCVersion))
+	}
+	if v.Monitor {
+		parts = append(parts, "mon"+versionSuffix(archres.MonitorVersion))
+	}
+	if len(parts) == 0 {
+		return "base"
+	}
+	return strings.Join(parts, "+")
+}
+
+// versionSuffix renders a checker version into a cache-tag suffix; version
+// 1 is the empty suffix so existing campaign caches stay valid.
+func versionSuffix(v int) string {
+	if v <= 1 {
+		return ""
+	}
+	return fmt.Sprintf(".v%d", v)
+}
+
+func (v Variant) has(s SWTechnique) bool {
+	for _, t := range v.SW {
+		if t == s {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildProgram constructs the transformed program of a variant for a
+// benchmark. ABFT falls back to the unprotected kernel for benchmarks the
+// algorithm technique does not apply to (the paper's Sec 3.2.1 situation).
+func (e *Engine) BuildProgram(b *bench.Benchmark, v Variant) (*prog.Program, error) {
+	key := b.Name + "|" + v.Tag()
+	e.mu.Lock()
+	if p, ok := e.programs[key]; ok {
+		e.mu.Unlock()
+		return p, nil
+	}
+	e.mu.Unlock()
+	var p *prog.Program
+	var err error
+	switch {
+	case v.ABFT == ABFTCorr && abft.Supports(b.Name, abft.Correction):
+		p, err = abft.Program(b.Name, abft.Correction)
+	case v.ABFT == ABFTDet && abft.Supports(b.Name, abft.Detection):
+		p, err = abft.Program(b.Name, abft.Detection)
+	default:
+		p, err = b.Program()
+	}
+	if err != nil {
+		return nil, err
+	}
+	// canonical transform order: control-flow signatures on the clean CFG,
+	// then assertions, then duplication
+	if v.has(SWCFCSS) {
+		if p, err = swres.CFCSS(p); err != nil {
+			return nil, err
+		}
+	}
+	if v.has(SWAssertions) {
+		// Assertion invariants train on the alternate input set as well
+		// (the paper's multi-input training), tracked through the same
+		// preceding transforms so check sites line up.
+		var trainers []*prog.Program
+		if v.ABFT == ABFTNone {
+			if alt, err := b.AltProgram(); err == nil {
+				altP := alt
+				if v.has(SWCFCSS) {
+					altP, err = swres.CFCSS(altP)
+					if err != nil {
+						return nil, err
+					}
+				}
+				trainers = append(trainers, altP)
+			}
+		}
+		if p, err = swres.AssertionsTrained(p, trainers, v.AssertK); err != nil {
+			return nil, err
+		}
+	}
+	if v.has(SWEDDI) {
+		if v.SelEDDI {
+			p, err = swres.SelectiveEDDI(p)
+		} else {
+			p, err = swres.EDDI(p, v.EDDISrb)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	e.mu.Lock()
+	e.programs[key] = p
+	e.mu.Unlock()
+	return p, nil
+}
+
+// hookFactory builds the architecture-level checker chain of a variant.
+func (v Variant) hookFactory() func(*prog.Program) sim.CommitHook {
+	if !v.DFC && !v.Monitor {
+		return nil
+	}
+	return func(p *prog.Program) sim.CommitHook {
+		var hooks []sim.CommitHook
+		if v.DFC {
+			hooks = append(hooks, archres.NewDFC(p))
+		}
+		if v.Monitor {
+			hooks = append(hooks, archres.NewMonitor(p))
+		}
+		if len(hooks) == 1 {
+			return hooks[0]
+		}
+		return func(ev sim.CommitEvent) bool {
+			det := false
+			for _, h := range hooks {
+				if h(ev) {
+					det = true
+				}
+			}
+			return det
+		}
+	}
+}
+
+// Campaign runs (or loads) the injection campaign for a benchmark under a
+// variant.
+func (e *Engine) Campaign(b *bench.Benchmark, v Variant) (*inject.Result, error) {
+	key := b.Name + "|" + v.Tag()
+	e.mu.Lock()
+	if r, ok := e.campaigns[key]; ok {
+		e.mu.Unlock()
+		return r, nil
+	}
+	e.mu.Unlock()
+	p, err := e.BuildProgram(b, v)
+	if err != nil {
+		return nil, err
+	}
+	tag := v.Tag()
+	samples := e.SamplesTech
+	if tag == "base" {
+		samples = e.SamplesBase
+	}
+	cfg := inject.Config{
+		Core:         e.Kind,
+		Bench:        b.Name,
+		Tag:          tag,
+		SamplesPerFF: samples,
+		Seed:         e.Seed,
+	}
+	r, err := inject.Campaign(cfg, p, v.hookFactory())
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.campaigns[key] = r
+	e.mu.Unlock()
+	return r, nil
+}
+
+// Base returns the baseline (unprotected) campaign for a benchmark.
+func (e *Engine) Base(b *bench.Benchmark) (*inject.Result, error) {
+	return e.Campaign(b, Variant{})
+}
+
+// ExecOverhead measures the error-free execution-time overhead of a variant
+// relative to the unprotected benchmark on this core.
+func (e *Engine) ExecOverhead(b *bench.Benchmark, v Variant) (float64, error) {
+	key := b.Name + "|" + v.Tag()
+	e.mu.Lock()
+	if ov, ok := e.overheads[key]; ok {
+		e.mu.Unlock()
+		return ov, nil
+	}
+	e.mu.Unlock()
+	base, err := b.Program()
+	if err != nil {
+		return 0, err
+	}
+	p, err := e.BuildProgram(b, v)
+	if err != nil {
+		return 0, err
+	}
+	if p == base {
+		return 0, nil
+	}
+	r0 := inject.NewCore(e.Kind, base).Run(20_000_000)
+	r1 := inject.NewCore(e.Kind, p).Run(20_000_000)
+	if r0.Status != prog.StatusHalted || r1.Status != prog.StatusHalted {
+		return 0, fmt.Errorf("core: exec overhead run failed for %s/%s", b.Name, v.Tag())
+	}
+	ov := float64(r1.Steps)/float64(r0.Steps) - 1
+	e.mu.Lock()
+	e.overheads[key] = ov
+	e.mu.Unlock()
+	return ov, nil
+}

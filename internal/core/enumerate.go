@@ -1,0 +1,195 @@
+package core
+
+import (
+	"clear/internal/inject"
+	"clear/internal/recovery"
+	"clear/internal/swres"
+)
+
+// Enumeration of the 586 valid cross-layer combinations (paper Table 18).
+//
+// Per core, the library techniques form a base set; combinations are:
+//   - no recovery: every non-empty subset of the base set;
+//   - flush/RoB recovery: non-empty subsets of the techniques whose
+//     detections that recovery can replay (circuit/logic detection, plus
+//     the monitor core on OoO — LEAP-DICE is implicitly added by
+//     Heuristic 1 for unrecoverable flip-flops);
+//   - IR/EIR recovery: non-empty subsets of the detection techniques with
+//     bounded latency (EDS, parity, DFC — and the monitor core on OoO);
+//   - ABFT correction composes with all of the above; ABFT detection has
+//     unbounded detection latency, so it only composes with the
+//     no-recovery combinations; each ABFT flavor also stands alone.
+//
+// InO: 127 + 3 + 14 = 144; ×2 for ABFT-correction stacking + 127 ABFT-
+// detection stacking + 2 standalone = 417. OoO: 31 + 7 + 30 = 68; ×2 + 31
+// + 2 = 169. Total 586.
+
+// baseTechnique is an element of the per-core base set.
+type baseTechnique int
+
+const (
+	tDICE baseTechnique = iota
+	tEDS
+	tParity
+	tDFC
+	tMonitor
+	tAssert
+	tCFCSS
+	tEDDI
+)
+
+func baseSet(kind inject.CoreKind) []baseTechnique {
+	if kind == inject.InO {
+		return []baseTechnique{tDICE, tEDS, tParity, tDFC, tAssert, tCFCSS, tEDDI}
+	}
+	return []baseTechnique{tDICE, tEDS, tParity, tDFC, tMonitor}
+}
+
+// comboFromSubset builds a Combo from a subset bitmask over set.
+func comboFromSubset(set []baseTechnique, mask int, rec recovery.Kind, ab ABFTMode) Combo {
+	c := Combo{Recovery: rec}
+	c.Variant.ABFT = ab
+	c.Variant.AssertK = swres.AssertCombined
+	c.Variant.EDDISrb = true
+	for i, t := range set {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		switch t {
+		case tDICE:
+			c.DICE = true
+		case tEDS:
+			c.EDS = true
+		case tParity:
+			c.Parity = true
+		case tDFC:
+			c.Variant.DFC = true
+		case tMonitor:
+			c.Variant.Monitor = true
+		case tAssert:
+			c.Variant.SW = append(c.Variant.SW, SWAssertions)
+		case tCFCSS:
+			c.Variant.SW = append(c.Variant.SW, SWCFCSS)
+		case tEDDI:
+			c.Variant.SW = append(c.Variant.SW, SWEDDI)
+		}
+	}
+	// canonical software order: CFCSS, assertions, EDDI
+	ordered := make([]SWTechnique, 0, len(c.Variant.SW))
+	for _, want := range []SWTechnique{SWCFCSS, SWAssertions, SWEDDI} {
+		for _, s := range c.Variant.SW {
+			if s == want {
+				ordered = append(ordered, s)
+			}
+		}
+	}
+	c.Variant.SW = ordered
+	return c
+}
+
+func subsetsOf(set []baseTechnique, allowed map[baseTechnique]bool, rec recovery.Kind, ab ABFTMode) []Combo {
+	// indices of allowed techniques
+	var idx []int
+	for i, t := range set {
+		if allowed == nil || allowed[t] {
+			idx = append(idx, i)
+		}
+	}
+	var out []Combo
+	for m := 1; m < 1<<len(idx); m++ {
+		mask := 0
+		for j, i := range idx {
+			if m&(1<<j) != 0 {
+				mask |= 1 << i
+			}
+		}
+		out = append(out, comboFromSubset(set, mask, rec, ab))
+	}
+	return out
+}
+
+// Enumerate returns the valid cross-layer combinations for a core,
+// reproducing the Table 18 counting.
+func Enumerate(kind inject.CoreKind) []Combo {
+	set := baseSet(kind)
+	var combos []Combo
+
+	// no recovery: all non-empty subsets
+	noRec := subsetsOf(set, nil, recovery.None, ABFTNone)
+
+	// flush (InO) / RoB (OoO): subsets of the replayable detectors
+	var quickRec []Combo
+	if kind == inject.InO {
+		quickRec = subsetsOf(set, map[baseTechnique]bool{tEDS: true, tParity: true},
+			recovery.Flush, ABFTNone)
+	} else {
+		quickRec = subsetsOf(set, map[baseTechnique]bool{tEDS: true, tParity: true, tMonitor: true},
+			recovery.RoB, ABFTNone)
+	}
+
+	// IR / EIR: subsets of bounded-latency detectors
+	var replay []Combo
+	detectors := map[baseTechnique]bool{tEDS: true, tParity: true, tDFC: true}
+	if kind == inject.OoO {
+		detectors[tMonitor] = true
+	}
+	for _, rec := range []recovery.Kind{recovery.IR, recovery.EIR} {
+		replay = append(replay, subsetsOf(set, detectors, rec, ABFTNone)...)
+	}
+
+	base := append(append(append([]Combo{}, noRec...), quickRec...), replay...)
+
+	// ABFT standalone
+	combos = append(combos,
+		Combo{Variant: Variant{ABFT: ABFTCorr}},
+		Combo{Variant: Variant{ABFT: ABFTDet}},
+	)
+	// plain combinations
+	combos = append(combos, base...)
+	// ABFT correction stacks on everything
+	for _, c := range base {
+		c.Variant.ABFT = ABFTCorr
+		combos = append(combos, c)
+	}
+	// ABFT detection stacks only on the no-recovery combinations
+	for _, c := range noRec {
+		c.Variant.ABFT = ABFTDet
+		combos = append(combos, c)
+	}
+	return combos
+}
+
+// EnumerationCounts reproduces the Table 18 row counts for a core.
+type EnumerationCounts struct {
+	NoRec, QuickRec, Replay int
+	ABFTAlone               int
+	ABFTCorrStack           int
+	ABFTDetStack            int
+	Total                   int
+}
+
+// CountCombos tallies the enumeration per Table 18's rows.
+func CountCombos(kind inject.CoreKind) EnumerationCounts {
+	set := baseSet(kind)
+	noRec := len(subsetsOf(set, nil, recovery.None, ABFTNone))
+	var quick int
+	if kind == inject.InO {
+		quick = len(subsetsOf(set, map[baseTechnique]bool{tEDS: true, tParity: true}, recovery.Flush, ABFTNone))
+	} else {
+		quick = len(subsetsOf(set, map[baseTechnique]bool{tEDS: true, tParity: true, tMonitor: true}, recovery.RoB, ABFTNone))
+	}
+	det := map[baseTechnique]bool{tEDS: true, tParity: true, tDFC: true}
+	if kind == inject.OoO {
+		det[tMonitor] = true
+	}
+	replay := 2 * len(subsetsOf(set, det, recovery.IR, ABFTNone))
+	base := noRec + quick + replay
+	c := EnumerationCounts{
+		NoRec: noRec, QuickRec: quick, Replay: replay,
+		ABFTAlone:     2,
+		ABFTCorrStack: base,
+		ABFTDetStack:  noRec,
+	}
+	c.Total = base + 2 + base + noRec
+	return c
+}

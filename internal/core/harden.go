@@ -1,0 +1,279 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"clear/internal/inject"
+	"clear/internal/recovery"
+	"clear/internal/stack"
+)
+
+// Metric selects which improvement a hardening pass targets.
+type Metric int
+
+// Improvement metrics.
+const (
+	SDC Metric = iota
+	DUE
+)
+
+func (m Metric) String() string {
+	if m == SDC {
+		return "SDC"
+	}
+	return "DUE"
+}
+
+// parityTreeSlack is the slack (gate delays) needed for the unpipelined
+// 32-bit predictor tree of Heuristic 1's PARITY() predicate.
+const parityTreeSlack = 7
+
+// chooseCell implements the paper's Heuristic 1: LEAP-DICE for flip-flops
+// whose detected errors the attached recovery could not recover, parity
+// when timing slack allows a 32-bit tree, and LEAP-DICE (or EDS, when the
+// combination includes it) otherwise.
+func (e *Engine) chooseCell(bit int, hasDICE, hasParity, hasEDS bool, rec recovery.Kind) CellKind {
+	coreName := e.Kind.String()
+	needHarden := false
+	if rec == recovery.Flush || rec == recovery.RoB {
+		needHarden = !recovery.Recoverable(rec, coreName, e.Space, bit)
+	}
+	if hasDICE && needHarden {
+		return CellDICE
+	}
+	if hasParity && e.Pl.Slack[bit] >= parityTreeSlack {
+		return CellParity
+	}
+	if hasEDS {
+		return CellEDS
+	}
+	if hasParity && !hasDICE {
+		return CellParity // pipelined parity (Fig 3) when DICE is absent
+	}
+	if hasDICE {
+		return CellDICE
+	}
+	if hasParity {
+		return CellParity
+	}
+	return CellNone
+}
+
+// HardenOptions parameterizes a selective-insertion pass.
+type HardenOptions struct {
+	DICE, Parity, EDS bool
+	Recovery          recovery.Kind
+	// FixedGamma multiplies the plan-dependent γ contribution: the high
+	// layers' flip-flop and execution-time overheads.
+	FixedGamma float64
+	// Baseline error rates of the unprotected design (per sample).
+	BaseSDCRate, BaseDUERate float64
+}
+
+// rates converts residual counts into per-sample rates.
+func rates(res *inject.Result, r Residuals) (sdc, due float64) {
+	n := float64(res.Totals.N)
+	if n == 0 {
+		return 0, 0
+	}
+	return r.SDC / n, r.DUE / n
+}
+
+// SelectiveHarden performs the Fig 7 loop: repeatedly protect the most
+// vulnerable unprotected flip-flop (per the target metric) with the
+// Heuristic 1 cell until the target improvement is met. A +Inf target
+// protects every flip-flop (the paper's "max" design point). The returned
+// plan achieves the target under the final γ, or protects everything it
+// can.
+func (e *Engine) SelectiveHarden(res *inject.Result, opt HardenOptions, metric Metric, target float64) *Plan {
+	plan := NewPlan(len(res.PerFF), opt.Recovery)
+	if !opt.DICE && !opt.Parity && !opt.EDS {
+		return plan
+	}
+	// Detection without recovery turns every detected flip into a DUE, so a
+	// DUE-targeting pass must only use correcting cells (the paper's
+	// observation that no DUE improvement is achievable with unconstrained
+	// detection-only protection).
+	if metric == DUE && opt.Recovery == recovery.None {
+		if !opt.DICE {
+			return plan // nothing useful to insert
+		}
+		opt.Parity, opt.EDS = false, false
+	}
+
+	// Sort flip-flops by vulnerability under the target metric.
+	order := make([]int, len(res.PerFF))
+	for i := range order {
+		order[i] = i
+	}
+	key := func(bit int) float64 {
+		st := res.PerFF[bit]
+		if metric == SDC {
+			return float64(st.OMM)
+		}
+		return float64(st.UT) + float64(st.Hang) + float64(st.ED)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return key(order[a]) > key(order[b]) })
+
+	// Exact target check: full residual evaluation with the implemented
+	// parity grouping's γ contribution.
+	achieved := func() bool {
+		if math.IsInf(target, 1) {
+			return false // protect everything
+		}
+		resid := e.Evaluate(res, plan)
+		sdcR, dueR := rates(res, resid)
+		gamma := opt.FixedGamma * (1 + e.PlanFFOverhead(plan))
+		var imp float64
+		if metric == SDC {
+			imp = stack.Improvement(opt.BaseSDCRate, sdcR, gamma)
+		} else {
+			imp = stack.Improvement(opt.BaseDUERate, dueR, gamma)
+		}
+		return imp >= target
+	}
+
+	// Greedy insertion with O(1) incremental residual tracking; the exact
+	// evaluator confirms (γ included) whenever the cheap estimate says the
+	// target is met, so the plan stops at the first sufficient flip-flop.
+	totalN := float64(res.Totals.N)
+	curSDC, curDUE := 0.0, 0.0
+	for _, st := range res.PerFF {
+		curSDC += float64(st.OMM)
+		curDUE += float64(st.UT) + float64(st.Hang) + float64(st.ED)
+	}
+	parityish := 0
+	coreName := e.Kind.String()
+	serDICE := serOf(CellDICE)
+	applyDelta := func(bit int, cell CellKind) {
+		st := res.PerFF[bit]
+		sdc := float64(st.OMM)
+		due := float64(st.UT) + float64(st.Hang) + float64(st.ED)
+		switch cell {
+		case CellDICE, CellCtrlRes:
+			curSDC -= sdc * (1 - serDICE)
+			curDUE -= due * (1 - serDICE)
+		case CellLHL:
+			curSDC -= sdc * 0.75
+			curDUE -= due * 0.75
+		case CellParity, CellEDS:
+			parityish++
+			if plan.Recovery != recovery.None &&
+				recovery.Recoverable(plan.Recovery, coreName, e.Space, bit) {
+				curSDC -= sdc
+				curDUE -= due
+			} else {
+				curSDC -= sdc
+				curDUE += float64(st.N) - due
+			}
+		}
+	}
+	quickMet := func() bool {
+		// approximate γ: recovery overhead plus ~0.3 added FFs per
+		// parity/EDS cell (pipeline + error-indication flip-flops)
+		gamma := opt.FixedGamma * (1 + recoveryFFOverhead(plan.Recovery, coreName) +
+			0.3*float64(parityish)/float64(e.Model.NumFFs))
+		var imp float64
+		if metric == SDC {
+			imp = stack.Improvement(opt.BaseSDCRate, curSDC/totalN, gamma)
+		} else {
+			imp = stack.Improvement(opt.BaseDUERate, curDUE/totalN, gamma)
+		}
+		return imp >= target
+	}
+
+	for _, bit := range order {
+		if plan.Assign[bit] != CellNone {
+			continue
+		}
+		if !math.IsInf(target, 1) && key(bit) == 0 {
+			// remaining flip-flops have no observed errors under this
+			// metric: protecting them cannot raise measured improvement
+			break
+		}
+		cell := e.chooseCell(bit, opt.DICE, opt.Parity, opt.EDS, opt.Recovery)
+		plan.Assign[bit] = cell
+		applyDelta(bit, cell)
+		if !math.IsInf(target, 1) && quickMet() && achieved() {
+			return plan
+		}
+	}
+	if math.IsInf(target, 1) {
+		// max design point: protect every flip-flop
+		for bit := range plan.Assign {
+			if plan.Assign[bit] == CellNone {
+				plan.Assign[bit] = e.chooseCell(bit, opt.DICE, opt.Parity, opt.EDS, opt.Recovery)
+			}
+		}
+		return plan
+	}
+	if achieved() {
+		return plan
+	}
+	// Target not reachable with measured-error flip-flops alone: extend to
+	// every flip-flop (upper-bound design).
+	sinceCheck := 0
+	for _, bit := range order {
+		if plan.Assign[bit] == CellNone {
+			plan.Assign[bit] = e.chooseCell(bit, opt.DICE, opt.Parity, opt.EDS, opt.Recovery)
+			sinceCheck++
+			if sinceCheck >= 64 {
+				sinceCheck = 0
+				if achieved() {
+					return plan
+				}
+			}
+		}
+	}
+	return plan
+}
+
+// JointHarden meets an SDC and a DUE target simultaneously (paper Sec 3.1,
+// Table 20): protect for SDC first, then keep protecting until the DUE
+// target is also met.
+func (e *Engine) JointHarden(res *inject.Result, opt HardenOptions, target float64) *Plan {
+	plan := e.SelectiveHarden(res, opt, SDC, target)
+	// continue with DUE ordering on the same plan
+	order := make([]int, len(res.PerFF))
+	for i := range order {
+		order[i] = i
+	}
+	dueKey := func(bit int) float64 {
+		st := res.PerFF[bit]
+		return float64(st.UT) + float64(st.Hang) + float64(st.ED)
+	}
+	sort.SliceStable(order, func(a, b int) bool { return dueKey(order[a]) > dueKey(order[b]) })
+	dueMet := func() bool {
+		resid := e.Evaluate(res, plan)
+		_, dueR := rates(res, resid)
+		gamma := opt.FixedGamma * (1 + e.PlanFFOverhead(plan))
+		return stack.Improvement(opt.BaseDUERate, dueR, gamma) >= target
+	}
+	if math.IsInf(target, 1) {
+		for bit := range plan.Assign {
+			if plan.Assign[bit] == CellNone {
+				plan.Assign[bit] = e.chooseCell(bit, opt.DICE, opt.Parity, opt.EDS, opt.Recovery)
+			}
+		}
+		return plan
+	}
+	if dueMet() {
+		return plan
+	}
+	since := 0
+	for _, bit := range order {
+		if plan.Assign[bit] != CellNone {
+			continue
+		}
+		plan.Assign[bit] = e.chooseCell(bit, opt.DICE, opt.Parity, opt.EDS, opt.Recovery)
+		since++
+		if since >= 16 {
+			since = 0
+			if dueMet() {
+				return plan
+			}
+		}
+	}
+	return plan
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"clear/internal/circuitlib"
+	"clear/internal/inject"
+	"clear/internal/parity"
+	"clear/internal/power"
+	"clear/internal/recovery"
+)
+
+// CellKind is the circuit/logic protection applied to one flip-flop.
+type CellKind uint8
+
+// Per-flip-flop protection choices.
+const (
+	CellNone CellKind = iota
+	CellDICE
+	CellLHL
+	CellCtrlEco // LEAP-ctrl operating in economy mode
+	CellCtrlRes // LEAP-ctrl operating in resilient mode
+	CellParity
+	CellEDS
+)
+
+// Plan is a concrete low-level implementation: a protection choice per
+// flip-flop plus the attached hardware recovery.
+type Plan struct {
+	Assign   []CellKind
+	Recovery recovery.Kind
+}
+
+// NewPlan returns an all-unprotected plan for n flip-flops.
+func NewPlan(n int, rec recovery.Kind) *Plan {
+	return &Plan{Assign: make([]CellKind, n), Recovery: rec}
+}
+
+// Residuals is the analytically composed outcome of a campaign under a
+// plan: expected error counts in the protected design, per Sec 2.1
+// semantics. Detection without recovery turns all errors in a protected
+// flip-flop (even ones that would have vanished) into detected events.
+type Residuals struct {
+	SDC float64 // expected OMM count
+	DUE float64 // expected UT+Hang+ED count
+}
+
+// serOf returns the soft-error-rate residual factor of a correcting cell.
+func serOf(c CellKind) float64 {
+	switch c {
+	case CellDICE, CellCtrlRes:
+		return circuitlib.Get(circuitlib.LEAPDICE).SERRatio
+	case CellLHL:
+		return circuitlib.Get(circuitlib.LHL).SERRatio
+	}
+	return 1
+}
+
+// Evaluate composes per-flip-flop campaign statistics with a plan.
+//
+// Rules (matching the paper's technique semantics):
+//   - hardening cells scale every error class by the cell's SER ratio;
+//   - parity/EDS with recovery that can recover the flip-flop suppress all
+//     errors (detect + replay);
+//   - parity/EDS without usable recovery detect every flip: SDC goes to
+//     zero but every injected error becomes ED (a DUE);
+//   - unprotected flip-flops contribute their measured counts.
+func (e *Engine) Evaluate(res *inject.Result, plan *Plan) Residuals {
+	var out Residuals
+	coreName := e.Kind.String()
+	for bit, st := range res.PerFF {
+		sdc := float64(st.OMM)
+		due := float64(st.UT) + float64(st.Hang) + float64(st.ED)
+		switch c := plan.Assign[bit]; c {
+		case CellNone, CellCtrlEco:
+			out.SDC += sdc
+			out.DUE += due
+		case CellDICE, CellLHL, CellCtrlRes:
+			f := serOf(c)
+			out.SDC += sdc * f
+			out.DUE += due * f
+		case CellParity, CellEDS:
+			if plan.Recovery != recovery.None &&
+				recovery.Recoverable(plan.Recovery, coreName, e.Space, bit) {
+				// detected and replayed: error erased
+				continue
+			}
+			// detected, not recoverable: every flip becomes a DUE
+			out.DUE += float64(st.N)
+		}
+	}
+	return out
+}
+
+// BaseRate returns a campaign's per-sample error rate for a metric in the
+// unprotected design (the Eq. 1 numerator; for DUE this is UT+Hang, as no
+// detection technique is present in the baseline).
+func BaseRate(r *inject.Result, m Metric) float64 {
+	n := float64(r.Totals.N)
+	if n == 0 {
+		return 0
+	}
+	if m == SDC {
+		return float64(r.Totals.SDC()) / n
+	}
+	return float64(r.Totals.UT+r.Totals.Hang) / n
+}
+
+// counts tallies plan cells by kind.
+func (p *Plan) counts() map[CellKind]int {
+	m := map[CellKind]int{}
+	for _, c := range p.Assign {
+		if c != CellNone {
+			m[c]++
+		}
+	}
+	return m
+}
+
+// bitsOf returns the flip-flops assigned a given cell kind.
+func (p *Plan) bitsOf(kind CellKind) []int {
+	var out []int
+	for bit, c := range p.Assign {
+		if c == kind {
+			out = append(out, bit)
+		}
+	}
+	return out
+}
+
+// ParityGrouping forms the optimized parity implementation over the plan's
+// parity-protected flip-flops.
+func (e *Engine) ParityGrouping(p *Plan) parity.Grouping {
+	bits := p.bitsOf(CellParity)
+	if len(bits) == 0 {
+		return parity.Grouping{}
+	}
+	return parity.Group(parity.OptimizedH, 16, e.Space, e.Pl, nil, bits)
+}
+
+// PlanCost returns the hardware cost of a plan: cell swaps, parity trees,
+// EDS aggregation, and the recovery unit.
+func (e *Engine) PlanCost(p *Plan) power.Cost {
+	counts := p.counts()
+	harden := map[circuitlib.FFType]int{}
+	if n := counts[CellDICE]; n > 0 {
+		harden[circuitlib.LEAPDICE] = n
+	}
+	if n := counts[CellLHL]; n > 0 {
+		harden[circuitlib.LHL] = n
+	}
+	if n := counts[CellCtrlEco]; n > 0 {
+		harden[circuitlib.LEAPCtrlEconomy] = n
+	}
+	if n := counts[CellCtrlRes]; n > 0 {
+		harden[circuitlib.LEAPCtrlResilient] = n
+	}
+	cost := e.Model.HardenFFs(harden)
+	if counts[CellParity] > 0 {
+		cost = cost.Plus(e.Model.ParityCost(e.ParityGrouping(p), e.Pl))
+	}
+	if bits := p.bitsOf(CellEDS); len(bits) > 0 {
+		cost = cost.Plus(e.Model.EDSCost(bits, e.Pl))
+	}
+	if p.Recovery != recovery.None {
+		cost = cost.Plus(recovery.Cost(p.Recovery, e.Kind.String()))
+	}
+	return cost
+}
+
+// recoveryFFOverhead is the γ flip-flop overhead of recovery hardware
+// (calibrated so parity+IR on the in-order core gives the paper's γ≈1.4
+// and the OoO recovery units are nearly free).
+func recoveryFFOverhead(k recovery.Kind, core string) float64 {
+	if core == "InO" {
+		switch k {
+		case recovery.IR:
+			return 0.35
+		case recovery.EIR:
+			return 0.42
+		case recovery.Flush:
+			return 0.01
+		}
+		return 0
+	}
+	switch k {
+	case recovery.IR, recovery.EIR:
+		return 0.055
+	case recovery.RoB:
+		return 0.001
+	}
+	return 0
+}
+
+// PlanFFOverhead returns the plan's γ flip-flop overhead: parity pipeline
+// and error-indication flip-flops plus recovery buffers, relative to the
+// core's flip-flop count.
+func (e *Engine) PlanFFOverhead(p *Plan) float64 {
+	over := recoveryFFOverhead(p.Recovery, e.Kind.String())
+	if g := e.ParityGrouping(p); len(g.Groups) > 0 {
+		over += float64(g.NumPipelineFFs()+g.ErrorFFs()) / float64(e.Model.NumFFs)
+	}
+	if n := len(p.bitsOf(CellEDS)); n > 0 {
+		// EDS error aggregation registers
+		over += float64(n/32+1) / float64(e.Model.NumFFs)
+	}
+	return over
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"clear/internal/core"
+	"clear/internal/inject"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2", "table3", "table4", "table5", "table6", "table7",
+		"table8", "table9", "table10", "table11", "table12", "table13",
+		"table14", "table15", "table16", "table17", "table18", "table19",
+		"table20", "table21", "table22", "table23", "table24", "table25",
+		"table26", "table27", "fig1d", "fig8", "fig9", "fig10",
+		"ablation1", "ablation2",
+	}
+	for _, id := range want {
+		if _, ok := Get(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+	// ordering: tables before figures, numerically
+	ids := All()
+	if ids[0].ID != "table1" || ids[len(ids)-1].ID != "ablation2" {
+		t.Fatalf("ordering wrong: first %s last %s", ids[0].ID, ids[len(ids)-1].ID)
+	}
+	if _, ok := Get("table99"); ok {
+		t.Fatal("nonexistent experiment found")
+	}
+}
+
+// quickCtx uses minimal sampling so campaign-free experiments run fast.
+func quickCtx() *Ctx {
+	ctx := NewCtx()
+	ctx.InO.SamplesBase = 1
+	ctx.InO.SamplesTech = 1
+	ctx.OoO.SamplesBase = 1
+	ctx.OoO.SamplesTech = 1
+	return ctx
+}
+
+func TestCampaignFreeExperiments(t *testing.T) {
+	ctx := quickCtx()
+	for _, id := range []string{"table4", "table5", "table6", "table15", "table18"} {
+		e, ok := Get(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		out, err := e.Run(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if !strings.Contains(out, "==") || len(out) < 100 {
+			t.Fatalf("%s: implausible output:\n%s", id, out)
+		}
+		t.Logf("%s ok (%d bytes)", id, len(out))
+	}
+}
+
+func TestTable18Exact(t *testing.T) {
+	e, _ := Get("table18")
+	out, err := e.Run(quickCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"127", "417", "169", "586"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table18 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestVariantPlanShape(t *testing.T) {
+	if len(InOFullVariants()) != 4 || len(InOSubsetVariants()) != 4 || len(OoOVariants()) != 2 {
+		t.Fatal("variant plan changed unexpectedly; update precompute docs")
+	}
+	if len(SubsetBenchmarks()) != 5 {
+		t.Fatal("subset must be the paper's 5 applications")
+	}
+	for _, b := range SubsetBenchmarks() {
+		if b == nil {
+			t.Fatal("nil subset benchmark")
+		}
+	}
+	if len(ABFTCorrBenchmarks()) != 3 || len(ABFTDetBenchmarks()) != 4 {
+		t.Fatal("ABFT kernel sets wrong")
+	}
+}
+
+func TestPartKeys(t *testing.T) {
+	c := core.Combo{
+		Variant: core.Variant{
+			ABFT: core.ABFTCorr,
+			SW:   []core.SWTechnique{core.SWCFCSS, core.SWEDDI},
+			DFC:  true,
+		},
+	}
+	keys := partKeys(c)
+	want := []string{"abftc", "cfcss", "eddi", "dfc"}
+	if len(keys) != len(want) {
+		t.Fatalf("keys %v", keys)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("keys %v, want %v", keys, want)
+		}
+	}
+	if len(partKeys(core.Combo{DICE: true})) != 0 {
+		t.Fatal("low-level-only combo should have no part keys")
+	}
+	_ = inject.InO
+}
+
+func TestFormatting(t *testing.T) {
+	if imp(37.84) != "37.8x" || imp(2.345) != "2.35x" || imp(1234) != "1234x" {
+		t.Fatal("imp formatting")
+	}
+	if pct(0.109) != "10.9%" || pct(0.021) != "2.10%" || pct(0) != "0%" {
+		t.Fatalf("pct formatting: %s %s %s", pct(0.109), pct(0.021), pct(0))
+	}
+}

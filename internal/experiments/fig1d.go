@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"math"
+
+	"clear/internal/analysis"
+	"clear/internal/bench"
+	"clear/internal/core"
+	"clear/internal/inject"
+	"clear/internal/power"
+	"clear/internal/swres"
+)
+
+// Figure 1d machinery: placing all 586 combinations on the
+// (%SDC-causing errors protected, energy cost) plane.
+//
+// Exactly measuring every combination would need a campaign per distinct
+// program/checker stack (dozens per benchmark); instead the sweep composes
+// the measured per-flip-flop residuals of the single-technique campaigns,
+// assuming independent detection across techniques. The headline tables
+// (19/21) use exact measured stacks; this composition is only used for the
+// 586-point scatter.
+
+// techPart is one high-level technique's measured effect for composition.
+type techPart struct {
+	sdcFrac []float64 // per-FF residual fraction of SDC-causing errors
+	dueFrac []float64
+	cost    power.Cost
+	gamma   float64
+}
+
+type fig1dParts map[string]*techPart
+
+// partKeys returns the composition keys of a combination's high layers.
+func partKeys(c core.Combo) []string {
+	var keys []string
+	switch c.Variant.ABFT {
+	case core.ABFTCorr:
+		keys = append(keys, "abftc")
+	case core.ABFTDet:
+		keys = append(keys, "abftd")
+	}
+	for _, s := range c.Variant.SW {
+		switch s {
+		case core.SWAssertions:
+			keys = append(keys, "assert")
+		case core.SWCFCSS:
+			keys = append(keys, "cfcss")
+		case core.SWEDDI:
+			keys = append(keys, "eddi")
+		}
+	}
+	if c.Variant.DFC {
+		keys = append(keys, "dfc")
+	}
+	if c.Variant.Monitor {
+		keys = append(keys, "mon")
+	}
+	return keys
+}
+
+// fig1dData aggregates the base campaigns and builds per-technique parts.
+func fig1dData(e *core.Engine) (*inject.Result, fig1dParts, error) {
+	var baseResults []*inject.Result
+	benches := e.Benchmarks()
+	for _, b := range benches {
+		r, err := e.Base(b)
+		if err != nil {
+			return nil, nil, err
+		}
+		baseResults = append(baseResults, r)
+	}
+	agg := analysis.Aggregate(baseResults)
+
+	parts := fig1dParts{}
+	mk := func(key string, v core.Variant, subset []*bench.Benchmark) error {
+		// aggregate the technique campaigns over its applicable benchmarks
+		var techResults, baseSubset []*inject.Result
+		var execSum float64
+		list := benches
+		if subset != nil {
+			list = subset
+		}
+		for _, b := range list {
+			tr, err := e.Campaign(b, v)
+			if err != nil {
+				return err
+			}
+			br, err := e.Base(b)
+			if err != nil {
+				return err
+			}
+			techResults = append(techResults, tr)
+			baseSubset = append(baseSubset, br)
+			ov, err := e.ExecOverhead(b, v)
+			if err != nil {
+				return err
+			}
+			execSum += ov
+		}
+		ta := analysis.Aggregate(techResults)
+		ba := analysis.Aggregate(baseSubset)
+		n := len(agg.PerFF)
+		p := &techPart{sdcFrac: make([]float64, n), dueFrac: make([]float64, n)}
+		// dilution: techniques that only apply to a benchmark subset leave
+		// the rest of the workload unprotected
+		w := float64(ba.Totals.N) / float64(agg.Totals.N)
+		for bit := 0; bit < n; bit++ {
+			bs, ts := ba.PerFF[bit], ta.PerFF[bit]
+			sf, df := 1.0, 1.0
+			if bs.OMM > 0 && ts.N > 0 {
+				sf = math.Min(1, (float64(ts.OMM)/float64(ts.N))/(float64(bs.OMM)/float64(bs.N)))
+			}
+			bd := float64(bs.UT + bs.Hang)
+			if bd > 0 && ts.N > 0 {
+				df = math.Min(1, (float64(ts.UT+ts.Hang+ts.ED)/float64(ts.N))/(bd/float64(bs.N)))
+			}
+			p.sdcFrac[bit] = 1 - w*(1-sf)
+			p.dueFrac[bit] = 1 - w*(1-df)
+		}
+		exec := execSum / float64(len(list)) * w
+		combo := core.Combo{Variant: v}
+		p.cost = e.HighLevelCost(combo, exec)
+		p.gamma = e.HighLevelGamma(combo, exec)
+		parts[key] = p
+		return nil
+	}
+
+	if e.Kind == inject.InO {
+		if err := mk("assert", core.Variant{SW: []core.SWTechnique{core.SWAssertions}, AssertK: swres.AssertCombined}, nil); err != nil {
+			return nil, nil, err
+		}
+		if err := mk("cfcss", core.Variant{SW: []core.SWTechnique{core.SWCFCSS}}, nil); err != nil {
+			return nil, nil, err
+		}
+		if err := mk("eddi", core.Variant{SW: []core.SWTechnique{core.SWEDDI}, EDDISrb: true}, nil); err != nil {
+			return nil, nil, err
+		}
+		if err := mk("abftd", core.Variant{ABFT: core.ABFTDet}, ABFTDetBenchmarks()); err != nil {
+			return nil, nil, err
+		}
+	} else {
+		if err := mk("mon", core.Variant{Monitor: true}, nil); err != nil {
+			return nil, nil, err
+		}
+	}
+	if err := mk("dfc", core.Variant{DFC: true}, nil); err != nil {
+		return nil, nil, err
+	}
+	if err := mk("abftc", core.Variant{ABFT: core.ABFTCorr}, ABFTCorrBenchmarks()); err != nil {
+		return nil, nil, err
+	}
+	return agg, parts, nil
+}
+
+// fig1dPoint composes a combination at a target and returns
+// (%SDC-causing errors protected, fractional energy cost).
+func fig1dPoint(e *core.Engine, agg *inject.Result, parts fig1dParts, c core.Combo, target float64) (float64, float64) {
+	keys := partKeys(c)
+	// synthesize the composed residual campaign
+	synth := &inject.Result{PerFF: make([]inject.FFStats, len(agg.PerFF))}
+	var totOMM, totDUE, totN float64
+	for bit, st := range agg.PerFF {
+		sf, df := 1.0, 1.0
+		for _, k := range keys {
+			if p, ok := parts[k]; ok {
+				sf *= p.sdcFrac[bit]
+				df *= p.dueFrac[bit]
+			}
+		}
+		omm := uint16(math.Round(float64(st.OMM) * sf))
+		due := uint16(math.Round((float64(st.UT) + float64(st.Hang)) * df))
+		synth.PerFF[bit] = inject.FFStats{N: st.N, OMM: omm, UT: due}
+		totOMM += float64(omm)
+		totDUE += float64(due)
+		totN += float64(st.N)
+	}
+	synth.Totals.N = int(totN)
+	synth.Totals.OMM = int(totOMM)
+	synth.Totals.UT = int(totDUE)
+
+	baseSDC := float64(agg.Totals.SDC())
+	if baseSDC == 0 {
+		return 0, 0
+	}
+	fixedGamma := 1.0
+	cost := power.Cost{}
+	for _, k := range keys {
+		if p, ok := parts[k]; ok {
+			fixedGamma *= p.gamma
+			cost = cost.Plus(p.cost)
+		}
+	}
+	opt := core.HardenOptions{
+		DICE: c.DICE, Parity: c.Parity, EDS: c.EDS,
+		Recovery:    c.Recovery,
+		FixedGamma:  fixedGamma,
+		BaseSDCRate: baseSDC / totN,
+		BaseDUERate: float64(agg.Totals.UT+agg.Totals.Hang) / totN,
+	}
+	plan := e.SelectiveHarden(synth, opt, core.SDC, target)
+	resid := e.Evaluate(synth, plan)
+	protected := 1 - resid.SDC/baseSDC
+	if protected < 0 {
+		protected = 0
+	}
+	cost = cost.Plus(e.PlanCost(plan))
+	return protected, cost.Energy()
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"clear/internal/core"
+	"clear/internal/inject"
+	"clear/internal/power"
+	"clear/internal/recovery"
+)
+
+// fabricated aggregate + parts for unit-testing the composition math
+func fabricate(e *core.Engine) (*inject.Result, fig1dParts) {
+	n := e.Space.NumBits()
+	agg := &inject.Result{PerFF: make([]inject.FFStats, n)}
+	for bit := 0; bit < n; bit++ {
+		st := inject.FFStats{N: 10}
+		if bit%3 == 0 {
+			st.OMM = 4
+		}
+		if bit%5 == 0 {
+			st.UT = 2
+		}
+		agg.PerFF[bit] = st
+		agg.Totals.N += 10
+		agg.Totals.OMM += int(st.OMM)
+		agg.Totals.UT += int(st.UT)
+	}
+	// a technique that halves SDC everywhere
+	half := &techPart{
+		sdcFrac: make([]float64, n),
+		dueFrac: make([]float64, n),
+		cost:    power.Cost{ExecTime: 0.2},
+		gamma:   1.2,
+	}
+	for i := range half.sdcFrac {
+		half.sdcFrac[i] = 0.5
+		half.dueFrac[i] = 1
+	}
+	return agg, fig1dParts{"dfc": half}
+}
+
+func TestFig1dPointComposition(t *testing.T) {
+	e := core.NewEngine(inject.InO)
+	agg, parts := fabricate(e)
+
+	// no techniques at all: nothing protected, zero cost
+	p0, e0 := fig1dPoint(e, agg, parts, core.Combo{}, 2)
+	if p0 != 0 || e0 != 0 {
+		t.Fatalf("empty combo: %.2f %.4f", p0, e0)
+	}
+
+	// the fabricated high-level technique alone: ~50% SDC protected
+	dfcCombo := core.Combo{Variant: core.Variant{DFC: true}}
+	p1, e1 := fig1dPoint(e, agg, parts, dfcCombo, 2)
+	if math.Abs(p1-0.5) > 0.05 {
+		t.Fatalf("half-technique protection = %.2f, want ~0.5", p1)
+	}
+	if e1 <= 0.19 {
+		t.Fatalf("technique energy %.3f should include its 20%% exec overhead", e1)
+	}
+
+	// adding selective DICE at a max target: everything protected, higher cost
+	full := core.Combo{DICE: true, Variant: core.Variant{DFC: true}}
+	p2, e2 := fig1dPoint(e, agg, parts, full, math.Inf(1))
+	if p2 < 0.999 {
+		t.Fatalf("max plan protection = %.4f", p2)
+	}
+	if e2 <= e1 {
+		t.Fatalf("max plan should cost more: %.3f vs %.3f", e2, e1)
+	}
+
+	// protection is monotone in the target
+	c := core.Combo{DICE: true, Parity: true, Recovery: recovery.Flush}
+	prev := -1.0
+	for _, tgt := range []float64{2, 5, 50, 500} {
+		p, _ := fig1dPoint(e, agg, parts, c, tgt)
+		if p+1e-9 < prev {
+			t.Fatalf("protection not monotone at target %v: %.3f < %.3f", tgt, p, prev)
+		}
+		prev = p
+	}
+}

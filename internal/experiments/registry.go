@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"text/tabwriter"
+
+	"clear/internal/core"
+	"clear/internal/inject"
+)
+
+// Ctx carries the evaluation engines shared by all experiments. Campaign
+// results come from the on-disk cache (run cmd/precompute to warm it; any
+// missing campaign is computed on demand).
+type Ctx struct {
+	InO *core.Engine
+	OoO *core.Engine
+}
+
+// NewCtx returns the default evaluation context.
+func NewCtx() *Ctx {
+	return &Ctx{InO: core.NewEngine(inject.InO), OoO: core.NewEngine(inject.OoO)}
+}
+
+// Engine returns the context's engine for a core kind.
+func (c *Ctx) Engine(kind inject.CoreKind) *core.Engine {
+	if kind == inject.InO {
+		return c.InO
+	}
+	return c.OoO
+}
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	ID    string // "table3", "fig9", ...
+	Title string // paper caption summary
+	Run   func(*Ctx) (string, error)
+}
+
+var registry []Experiment
+
+func register(id, title string, run func(*Ctx) (string, error)) {
+	registry = append(registry, Experiment{ID: id, Title: title, Run: run})
+}
+
+// All returns every experiment sorted by id (tables first, then figures).
+func All() []Experiment {
+	out := append([]Experiment{}, registry...)
+	sort.Slice(out, func(i, j int) bool { return lessID(out[i].ID, out[j].ID) })
+	return out
+}
+
+func lessID(a, b string) bool {
+	rank := func(s string) (int, int) {
+		kind := 0
+		switch {
+		case strings.HasPrefix(s, "fig"):
+			kind = 1
+			s = strings.TrimPrefix(s, "fig")
+		case strings.HasPrefix(s, "ablation"):
+			kind = 2
+			s = strings.TrimPrefix(s, "ablation")
+		default:
+			s = strings.TrimPrefix(s, "table")
+		}
+		n := 0
+		fmt.Sscanf(s, "%d", &n)
+		return kind, n
+	}
+	ka, na := rank(a)
+	kb, nb := rank(b)
+	if ka != kb {
+		return ka < kb
+	}
+	return na < nb
+}
+
+// Get returns the experiment with the given id.
+func Get(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---- rendering helpers ----
+
+// table renders rows with aligned columns and a title banner.
+type table struct {
+	title string
+	buf   bytes.Buffer
+	tw    *tabwriter.Writer
+}
+
+func newTable(title string, headers ...string) *table {
+	t := &table{title: title}
+	t.tw = tabwriter.NewWriter(&t.buf, 2, 4, 2, ' ', 0)
+	if len(headers) > 0 {
+		fmt.Fprintln(t.tw, strings.Join(headers, "\t"))
+		sep := make([]string, len(headers))
+		for i, h := range headers {
+			sep[i] = strings.Repeat("-", len(h))
+		}
+		fmt.Fprintln(t.tw, strings.Join(sep, "\t"))
+	}
+	return t
+}
+
+func (t *table) row(cells ...string) {
+	fmt.Fprintln(t.tw, strings.Join(cells, "\t"))
+}
+
+func (t *table) rowf(format string, args ...any) {
+	fmt.Fprintf(t.tw, format+"\n", args...)
+}
+
+func (t *table) String() string {
+	t.tw.Flush()
+	return "== " + t.title + " ==\n" + t.buf.String()
+}
+
+// imp formats an improvement factor ("37.8x", "max" for +Inf).
+func imp(v float64) string {
+	if math.IsInf(v, 1) {
+		return "max"
+	}
+	switch {
+	case v >= 1000:
+		return fmt.Sprintf("%.0fx", v)
+	case v >= 10:
+		return fmt.Sprintf("%.1fx", v)
+	default:
+		return fmt.Sprintf("%.2fx", v)
+	}
+}
+
+// pct formats a fraction as a percentage.
+func pct(v float64) string {
+	switch {
+	case math.Abs(v) >= 0.10:
+		return fmt.Sprintf("%.1f%%", 100*v)
+	case math.Abs(v) >= 0.001:
+		return fmt.Sprintf("%.2f%%", 100*v)
+	case v == 0:
+		return "0%"
+	default:
+		return fmt.Sprintf("%.3f%%", 100*v)
+	}
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }

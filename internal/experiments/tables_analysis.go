@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"clear/internal/analysis"
+	"clear/internal/archres"
+	"clear/internal/bench"
+	"clear/internal/core"
+	"clear/internal/inject"
+	"clear/internal/recovery"
+	"clear/internal/stats"
+	"clear/internal/swres"
+)
+
+func init() {
+	register("table23", "Trained vs validated SDC improvement, high-level techniques", table23)
+	register("table24", "Trained vs validated DUE improvement, high-level techniques", table24)
+	register("table25", "SDC improvement and cost before/after LHL augmentation", table25)
+	register("table26", "DUE improvement and cost before/after LHL augmentation", table26)
+	register("table27", "Flip-flop subset similarity across benchmarks (Eq. 2)", table27)
+}
+
+const nSplits = 50
+
+// techniqueRows lists the standalone high-level techniques of Tables 23/24.
+func techniqueRows(kind inject.CoreKind) []struct {
+	name string
+	v    core.Variant
+} {
+	if kind == inject.InO {
+		return []struct {
+			name string
+			v    core.Variant
+		}{
+			{"DFC", core.Variant{DFC: true}},
+			{"Assertions", core.Variant{SW: []core.SWTechnique{core.SWAssertions}, AssertK: swres.AssertCombined}},
+			{"CFCSS", core.Variant{SW: []core.SWTechnique{core.SWCFCSS}}},
+			{"EDDI", core.Variant{SW: []core.SWTechnique{core.SWEDDI}, EDDISrb: true}},
+		}
+	}
+	return []struct {
+		name string
+		v    core.Variant
+	}{
+		{"DFC", core.Variant{DFC: true}},
+		{"Monitor core", core.Variant{Monitor: true}},
+	}
+}
+
+func trainValidateTable(ctx *Ctx, title string, metric core.Metric) (string, error) {
+	t := newTable(title, "Core", "Technique", "Train", "Validate", "Underestimate", "p-value")
+	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
+		e := ctx.Engine(kind)
+		study, err := analysis.NewStudy(e)
+		if err != nil {
+			return "", err
+		}
+		trains, vals := study.Splits(nSplits, 4, 0x5EED)
+		for _, row := range techniqueRows(kind) {
+			techRes := make([]*inject.Result, len(study.Benches))
+			gammas := make([]float64, len(study.Benches))
+			for i, b := range study.Benches {
+				tr, err := e.Campaign(b, row.v)
+				if err != nil {
+					return "", err
+				}
+				techRes[i] = tr
+				ov, err := e.ExecOverhead(b, row.v)
+				if err != nil {
+					return "", err
+				}
+				gammas[i] = e.HighLevelGamma(core.Combo{Variant: row.v}, ov)
+			}
+			tv := analysis.TechniqueTV(row.name, study.Base, techRes, gammas, metric, trains, vals, 0xA11)
+			t.row(kind.String(), row.name, imp(tv.Train), imp(tv.Validate),
+				pct(tv.Underestimate), fmt.Sprintf("%.2g", tv.PValue))
+		}
+		// ABFT correction: leave-one-out over the three amenable kernels.
+		tv, err := abftTV(e, metric)
+		if err != nil {
+			return "", err
+		}
+		t.row(kind.String(), "ABFT correction", imp(tv.Train), imp(tv.Validate),
+			pct(tv.Underestimate), fmt.Sprintf("%.2g", tv.PValue))
+	}
+	return t.String(), nil
+}
+
+// abftTV evaluates ABFT correction's benchmark dependence with
+// leave-one-out splits over its three kernels.
+func abftTV(e *core.Engine, metric core.Metric) (analysis.HighLevelTV, error) {
+	kernels := ABFTCorrBenchmarks()
+	var baseRes, techRes []*inject.Result
+	var gammas []float64
+	for _, b := range kernels {
+		br, err := e.Base(b)
+		if err != nil {
+			return analysis.HighLevelTV{}, err
+		}
+		tr, err := e.Campaign(b, core.Variant{ABFT: core.ABFTCorr})
+		if err != nil {
+			return analysis.HighLevelTV{}, err
+		}
+		ov, err := e.ExecOverhead(b, core.Variant{ABFT: core.ABFTCorr})
+		if err != nil {
+			return analysis.HighLevelTV{}, err
+		}
+		baseRes = append(baseRes, br)
+		techRes = append(techRes, tr)
+		gammas = append(gammas, 1+ov)
+	}
+	var trains, vals [][]int
+	for leave := 0; leave < len(kernels); leave++ {
+		var tr []int
+		for i := range kernels {
+			if i != leave {
+				tr = append(tr, i)
+			}
+		}
+		trains = append(trains, tr)
+		vals = append(vals, []int{leave})
+	}
+	return analysis.TechniqueTV("ABFT correction", baseRes, techRes, gammas, metric, trains, vals, 0xABF7), nil
+}
+
+func table23(ctx *Ctx) (string, error) {
+	return trainValidateTable(ctx,
+		"Table 23: trained vs validated SDC improvement", core.SDC)
+}
+
+func table24(ctx *Ctx) (string, error) {
+	return trainValidateTable(ctx,
+		"Table 24: trained vs validated DUE improvement", core.DUE)
+}
+
+// lhlTable implements Tables 25/26: trained selective designs, their
+// validated improvement, and the LHL fallback for unseen applications.
+func lhlTable(ctx *Ctx, title string, metric core.Metric) (string, error) {
+	t := newTable(title,
+		"Core", "Target", "Train", "Validate", "After LHL",
+		"Area before", "Energy before", "Area after", "Energy after")
+	lhTargets := []float64{5, 10, 20, 30, 40, 50, 500, math.Inf(1)}
+	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
+		e := ctx.Engine(kind)
+		study, err := analysis.NewStudy(e)
+		if err != nil {
+			return "", err
+		}
+		nTrainSplits := 12 // 50 in the paper; bounded here for runtime
+		trains, vals := study.Splits(nTrainSplits, 4, 0x1DEA)
+		rec := recovery.Flush
+		if kind == inject.OoO {
+			rec = recovery.RoB
+		}
+		opt := core.HardenOptions{DICE: true, Parity: true, Recovery: rec, FixedGamma: 1}
+		for _, tgt := range lhTargets {
+			var trainS, valS, lhlS float64
+			var aB, eB, aA, eA float64
+			n := 0
+			for k := range trains {
+				tv, plan := study.TrainedDesign(trains[k], vals[k], opt, metric, tgt)
+				lhlPlan := analysis.ApplyLHL(plan)
+				after := study.EvaluatePlan(lhlPlan, vals[k], metric, opt.FixedGamma)
+				cB := e.PlanCost(plan).Plus(recovery.Cost(rec, kind.String()))
+				cA := e.PlanCost(lhlPlan).Plus(recovery.Cost(rec, kind.String()))
+				trainS += invCap(tv.Train)
+				valS += invCap(tv.Validate)
+				lhlS += invCap(after)
+				aB += cB.Area
+				eB += cB.Energy()
+				aA += cA.Area
+				eA += cA.Energy()
+				n++
+			}
+			fn := float64(n)
+			t.row(kind.String(), targetTimes(tgt),
+				imp(fn/trainS), imp(fn/valS), imp(fn/lhlS),
+				pct(aB/fn), pct(eB/fn), pct(aA/fn), pct(eA/fn))
+		}
+	}
+	return t.String(), nil
+}
+
+func table25(ctx *Ctx) (string, error) {
+	return lhlTable(ctx, "Table 25: SDC improvement before/after LHL", core.SDC)
+}
+
+func table26(ctx *Ctx) (string, error) {
+	return lhlTable(ctx, "Table 26: DUE improvement before/after LHL", core.DUE)
+}
+
+func table27(ctx *Ctx) (string, error) {
+	study, err := analysis.NewStudy(ctx.InO)
+	if err != nil {
+		return "", err
+	}
+	sim := study.SubsetSimilarity()
+	t := newTable("Table 27: subset similarity across all 18 benchmarks (InO)",
+		"Subset (by decreasing SDC+DUE vulnerability)", "Similarity (Eq. 2)")
+	for d, v := range sim {
+		t.row(fmt.Sprintf("%d: %d-%d%%", d+1, d*10, (d+1)*10), fmt.Sprintf("%.2f", v))
+	}
+	_ = stats.Mean
+	_ = archres.MonitorFFOverhead
+	_ = bench.All
+	return t.String(), nil
+}

@@ -1,0 +1,277 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"clear/internal/archres"
+	"clear/internal/bench"
+	"clear/internal/circuitlib"
+	"clear/internal/core"
+	"clear/internal/inject"
+	"clear/internal/layout"
+	"clear/internal/parity"
+	"clear/internal/recovery"
+)
+
+func init() {
+	register("table1", "Processor designs studied", table1)
+	register("table2", "Distribution of flip-flops with SDC/DUE-causing errors", table2)
+	register("table4", "Resilient flip-flop library", table4)
+	register("table5", "Baseline flip-flop spacing distribution", table5)
+	register("table6", "Parity-group spacing under the SEMU constraint", table6)
+	register("table7", "Parity grouping heuristics (pipelined, all InO flip-flops)", table7)
+	register("table9", "Monitor core vs main core throughput", table9)
+	register("table15", "Hardware error recovery costs", table15)
+	register("table18", "Creating the 586 cross-layer combinations", table18)
+}
+
+// baseAll loads the baseline campaigns of every benchmark of a core.
+func baseAll(e *core.Engine) ([]*inject.Result, error) {
+	var out []*inject.Result
+	for _, b := range e.Benchmarks() {
+		r, err := e.Base(b)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func table1(ctx *Ctx) (string, error) {
+	t := newTable("Table 1: processor designs studied",
+		"Core", "Description", "Clk", "Flip-flops", "Injections", "IPC")
+	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
+		e := ctx.Engine(kind)
+		results, err := baseAll(e)
+		if err != nil {
+			return "", err
+		}
+		totalInj := 0
+		var ipcSum float64
+		for _, r := range results {
+			totalInj += r.Totals.N
+			ipcSum += float64(r.NomRet) / float64(r.NomCycles)
+		}
+		desc := "Simple, in-order (CRV32 7-stage)"
+		if kind == inject.OoO {
+			desc = "Complex, 2-wide out-of-order (CRV32)"
+		}
+		t.row(kind.String(), desc,
+			fmt.Sprintf("%.0f MHz", e.Model.ClockMHz),
+			fmt.Sprintf("%d", e.Space.NumBits()),
+			fmt.Sprintf("%d", totalInj),
+			f2(ipcSum/float64(len(results))))
+	}
+	return t.String(), nil
+}
+
+func table2(ctx *Ctx) (string, error) {
+	t := newTable("Table 2: flip-flops with SDC-/DUE-causing errors over all benchmarks",
+		"Core", "% FFs w/ SDC errors", "% FFs w/ DUE errors", "% FFs w/ either", "% FFs always vanish")
+	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
+		e := ctx.Engine(kind)
+		results, err := baseAll(e)
+		if err != nil {
+			return "", err
+		}
+		n := e.Space.NumBits()
+		sdcFF := make([]bool, n)
+		dueFF := make([]bool, n)
+		for _, r := range results {
+			for bit, st := range r.PerFF {
+				if st.OMM > 0 {
+					sdcFF[bit] = true
+				}
+				if st.UT+st.Hang+st.ED > 0 {
+					dueFF[bit] = true
+				}
+			}
+		}
+		var cs, cd, ce int
+		for bit := 0; bit < n; bit++ {
+			if sdcFF[bit] {
+				cs++
+			}
+			if dueFF[bit] {
+				cd++
+			}
+			if sdcFF[bit] || dueFF[bit] {
+				ce++
+			}
+		}
+		t.row(kind.String(),
+			pct(float64(cs)/float64(n)), pct(float64(cd)/float64(n)),
+			pct(float64(ce)/float64(n)), pct(float64(n-ce)/float64(n)))
+	}
+	return t.String(), nil
+}
+
+func table4(*Ctx) (string, error) {
+	t := newTable("Table 4: resilient flip-flop library",
+		"Type", "Soft error rate", "Area", "Power", "Delay", "Energy")
+	for _, c := range circuitlib.All() {
+		ser := fmt.Sprintf("%.1e", c.SERRatio)
+		if c.Detects {
+			ser = "~100% detect"
+		} else if c.SERRatio == 1 {
+			ser = "1"
+		}
+		t.row(c.Name, ser, f2(c.Area), f2(c.Power), f2(c.Delay), f2(c.Energy))
+	}
+	return t.String(), nil
+}
+
+func table5(ctx *Ctx) (string, error) {
+	t := newTable("Table 5: baseline nearest-neighbor flip-flop spacing",
+		"Distance (FF lengths)", "InO-core", "OoO-core")
+	ih := layout.Histogram(ctx.InO.Pl.NearestNeighbor())
+	oh := layout.Histogram(ctx.OoO.Pl.NearestNeighbor())
+	for i, b := range layout.SpacingBuckets {
+		t.row(b, pct(ih[i]), pct(oh[i]))
+	}
+	return t.String(), nil
+}
+
+func table6(ctx *Ctx) (string, error) {
+	t := newTable("Table 6: same-parity-group spacing after the min-spacing constraint",
+		"Distance (FF lengths)", "InO-core", "OoO-core")
+	hist := func(e *core.Engine) ([5]float64, float64) {
+		bits := make([]int, e.Space.NumBits())
+		for i := range bits {
+			bits[i] = i
+		}
+		g := parity.Group(parity.OptimizedH, 16, e.Space, e.Pl, nil, bits)
+		d := e.Pl.ParityPlacement(g.Groups)
+		var sum float64
+		for _, v := range d {
+			sum += v
+		}
+		avg := 0.0
+		if len(d) > 0 {
+			avg = sum / float64(len(d))
+		}
+		return layout.Histogram(d), avg
+	}
+	ih, ia := hist(ctx.InO)
+	oh, oa := hist(ctx.OoO)
+	for i, b := range layout.SpacingBuckets {
+		t.row(b, pct(ih[i]), pct(oh[i]))
+	}
+	t.row("Average distance", fmt.Sprintf("%.1f FF", ia), fmt.Sprintf("%.1f FF", oa))
+	return t.String(), nil
+}
+
+func table7(ctx *Ctx) (string, error) {
+	e := ctx.InO
+	bits := make([]int, e.Space.NumBits())
+	vuln := make([]float64, e.Space.NumBits())
+	// vulnerability ordering from the aggregate baseline campaigns
+	results, err := baseAll(e)
+	if err != nil {
+		return "", err
+	}
+	for i := range bits {
+		bits[i] = i
+	}
+	for _, r := range results {
+		for bit, st := range r.PerFF {
+			vuln[bit] += float64(st.OMM) + float64(st.UT) + float64(st.Hang)
+		}
+	}
+	t := newTable("Table 7: parity heuristics, protecting all InO flip-flops",
+		"Heuristic", "Area cost", "Power cost", "Energy cost")
+	type cfg struct {
+		name string
+		h    parity.Heuristic
+		size int
+	}
+	for _, c := range []cfg{
+		{"Vulnerability (4-bit groups)", parity.VulnerabilityH, 4},
+		{"Vulnerability (8-bit groups)", parity.VulnerabilityH, 8},
+		{"Vulnerability (16-bit groups)", parity.VulnerabilityH, 16},
+		{"Vulnerability (32-bit groups)", parity.VulnerabilityH, 32},
+		{"Locality (16-bit groups)", parity.LocalityH, 16},
+		{"Timing (16-bit groups)", parity.TimingH, 16},
+		{"Optimized (16/32-bit groups)", parity.OptimizedH, 16},
+	} {
+		g := parity.Group(c.h, c.size, e.Space, e.Pl, vuln, bits)
+		if c.h != parity.OptimizedH {
+			g = g.ForcePipelined()
+		}
+		cost := e.Model.ParityCost(g, e.Pl)
+		t.row(c.name, pct(cost.Area), pct(cost.Power), pct(cost.Energy()))
+	}
+	return t.String(), nil
+}
+
+func table9(ctx *Ctx) (string, error) {
+	e := ctx.OoO
+	results, err := baseAll(e)
+	if err != nil {
+		return "", err
+	}
+	var ipcSum float64
+	for _, r := range results {
+		ipcSum += float64(r.NomRet) / float64(r.NomCycles)
+	}
+	mainIPC := ipcSum / float64(len(results))
+	t := newTable("Table 9: monitor core vs main core",
+		"Design", "Clk", "Average IPC")
+	t.row("OoO-core", fmt.Sprintf("%.0f MHz", e.Model.ClockMHz), f2(mainIPC))
+	t.row("Monitor core", fmt.Sprintf("%.0f MHz", float64(archres.MonitorClockMHz)), f2(archres.MonitorIPC))
+	stall := "no"
+	if archres.MonitorStallsMain(e.Model.ClockMHz, mainIPC) {
+		stall = "YES"
+	}
+	t.row("Monitor stalls main core?", stall, "")
+	return t.String(), nil
+}
+
+func table15(*Ctx) (string, error) {
+	t := newTable("Table 15: hardware error recovery costs",
+		"Core", "Type", "Area", "Power", "Energy", "Latency", "Unrecoverable FFs")
+	rows := []struct {
+		core string
+		kind recovery.Kind
+	}{
+		{"InO", recovery.IR}, {"InO", recovery.EIR}, {"InO", recovery.Flush},
+		{"OoO", recovery.IR}, {"OoO", recovery.EIR}, {"OoO", recovery.RoB},
+	}
+	for _, r := range rows {
+		c := recovery.Cost(r.kind, r.core)
+		unrec := recovery.UnrecoverableUnits(r.kind, r.core)
+		desc := "none (all pipeline FFs recoverable)"
+		if len(unrec) > 0 {
+			desc = "FFs in " + strings.Join(unrec, ",")
+		}
+		t.row(r.core, r.kind.String(), pct(c.Area), pct(c.Power), pct(c.Energy()),
+			fmt.Sprintf("%d cycles", recovery.Latency(r.kind, r.core)), desc)
+	}
+	return t.String(), nil
+}
+
+func table18(*Ctx) (string, error) {
+	t := newTable("Table 18: creating the 586 cross-layer combinations",
+		"Core", "Row", "No rec.", "Flush/RoB", "IR/EIR", "Total")
+	grand := 0
+	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
+		c := core.CountCombos(kind)
+		base := c.NoRec + c.QuickRec + c.Replay
+		t.row(kind.String(), "Technique combinations",
+			fmt.Sprintf("%d", c.NoRec), fmt.Sprintf("%d", c.QuickRec),
+			fmt.Sprintf("%d", c.Replay), fmt.Sprintf("%d", base))
+		t.row("", "ABFT correction/detection alone", "2", "0", "0", "2")
+		t.row("", "ABFT correction + combinations", "", "", "", fmt.Sprintf("%d", c.ABFTCorrStack))
+		t.row("", "ABFT detection + combinations", fmt.Sprintf("%d", c.ABFTDetStack), "0", "0", fmt.Sprintf("%d", c.ABFTDetStack))
+		t.row("", kind.String()+" total", "", "", "", fmt.Sprintf("%d", c.Total))
+		grand += c.Total
+	}
+	t.row("", "Combined total", "", "", "", fmt.Sprintf("%d", grand))
+	if grand != 586 {
+		return "", fmt.Errorf("experiments: enumeration produced %d combos, want 586", grand)
+	}
+	_ = bench.All
+	return t.String(), nil
+}

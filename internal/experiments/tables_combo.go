@@ -1,0 +1,436 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"clear/internal/bench"
+	"clear/internal/core"
+	"clear/internal/inject"
+	"clear/internal/power"
+	"clear/internal/recovery"
+	"clear/internal/swres"
+)
+
+func init() {
+	register("table17", "Tunable circuit/logic techniques: cost vs improvement", table17)
+	register("table19", "Cross-layer combinations for general-purpose processors", table19)
+	register("table20", "Joint SDC/DUE improvement (LEAP-DICE + parity + flush/RoB)", table20)
+	register("table21", "Cross-layer combinations involving ABFT", table21)
+	register("table22", "Impact of ABFT correction on flip-flops", table22)
+	register("fig1d", "Energy cost vs %SDC-causing errors protected, 586 combinations", fig1d)
+	register("fig8", "ABFT correction vs detection benchmarks", fig8)
+	register("fig9", "Bound region: LEAP-DICE + parity + recovery", fig9)
+	register("fig10", "Bound region: standalone LEAP-DICE", fig10)
+}
+
+// targets is the improvement sweep of Tables 17/19/21 and Figs 9/10.
+var targets = []float64{2, 5, 50, 500, math.Inf(1)}
+
+func targetLabel(v float64) string {
+	if math.IsInf(v, 1) {
+		return "max"
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// targetTimes renders "50x" for finite targets and "max" for +Inf.
+func targetTimes(v float64) string {
+	if math.IsInf(v, 1) {
+		return "max"
+	}
+	return fmt.Sprintf("%.0fx", v)
+}
+
+// sweepRow renders "area/energy" cells for a combo across targets.
+func sweepRow(e *core.Engine, c core.Combo, metric core.Metric, benches []*bench.Benchmark) ([]string, error) {
+	var cells []string
+	for _, tgt := range targets {
+		var area, energy float64
+		n := 0
+		for _, b := range benches {
+			out, err := e.EvalCombo(b, c, metric, tgt)
+			if err != nil {
+				return nil, err
+			}
+			area += out.Cost.Area
+			energy += out.Cost.Energy()
+			n++
+		}
+		cells = append(cells, fmt.Sprintf("%.1f/%.1f", 100*area/float64(n), 100*energy/float64(n)))
+	}
+	return cells, nil
+}
+
+func table17(ctx *Ctx) (string, error) {
+	t := newTable("Table 17: tunable techniques, area%/energy% per improvement target",
+		"Core", "Technique", "Metric", "2x", "5x", "50x", "500x", "max")
+	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
+		e := ctx.Engine(kind)
+		benches := e.Benchmarks()
+		rows := []struct {
+			name string
+			c    core.Combo
+		}{
+			{"LEAP-DICE only", core.Combo{DICE: true}},
+			{"Logic parity only (+IR)", core.Combo{Parity: true, Recovery: recovery.IR}},
+			{"EDS only (+IR)", core.Combo{EDS: true, Recovery: recovery.IR}},
+			{"Logic parity only (unconstr.)", core.Combo{Parity: true}},
+			{"EDS only (unconstr.)", core.Combo{EDS: true}},
+		}
+		for _, r := range rows {
+			for _, metric := range []core.Metric{core.SDC, core.DUE} {
+				if r.c.Recovery == recovery.None && !r.c.DICE && metric == core.DUE {
+					t.row(kind.String(), r.name, "DUE", "-", "-", "-", "-", "-")
+					continue
+				}
+				cells, err := sweepRow(e, r.c, metric, benches)
+				if err != nil {
+					return "", err
+				}
+				t.row(append([]string{kind.String(), r.name, metric.String()}, cells...)...)
+			}
+		}
+	}
+	return t.String(), nil
+}
+
+// headlineCombos returns the Table 19 combinations per core.
+func headlineCombos(kind inject.CoreKind) []struct {
+	name string
+	c    core.Combo
+} {
+	if kind == inject.InO {
+		return []struct {
+			name string
+			c    core.Combo
+		}{
+			{"LEAP-DICE + parity (+flush)", core.Combo{DICE: true, Parity: true, Recovery: recovery.Flush}},
+			{"EDS + LEAP-DICE + parity (+flush)", core.Combo{DICE: true, Parity: true, EDS: true, Recovery: recovery.Flush}},
+			{"DFC + LEAP-DICE + parity (+EIR)", core.Combo{DICE: true, Parity: true, Variant: core.Variant{DFC: true}, Recovery: recovery.EIR}},
+			{"Assertions + LEAP-DICE + parity", core.Combo{DICE: true, Parity: true, Variant: core.Variant{SW: []core.SWTechnique{core.SWAssertions}, AssertK: swres.AssertCombined}}},
+			{"CFCSS + LEAP-DICE + parity", core.Combo{DICE: true, Parity: true, Variant: core.Variant{SW: []core.SWTechnique{core.SWCFCSS}}}},
+			{"EDDI + LEAP-DICE + parity", core.Combo{DICE: true, Parity: true, Variant: core.Variant{SW: []core.SWTechnique{core.SWEDDI}, EDDISrb: true}}},
+		}
+	}
+	return []struct {
+		name string
+		c    core.Combo
+	}{
+		{"LEAP-DICE + parity (+RoB)", core.Combo{DICE: true, Parity: true, Recovery: recovery.RoB}},
+		{"EDS + LEAP-DICE + parity (+RoB)", core.Combo{DICE: true, Parity: true, EDS: true, Recovery: recovery.RoB}},
+		{"DFC + LEAP-DICE + parity (+EIR)", core.Combo{DICE: true, Parity: true, Variant: core.Variant{DFC: true}, Recovery: recovery.EIR}},
+		{"Monitor + LEAP-DICE + parity (+RoB)", core.Combo{DICE: true, Parity: true, Variant: core.Variant{Monitor: true}, Recovery: recovery.RoB}},
+	}
+}
+
+func table19(ctx *Ctx) (string, error) {
+	t := newTable("Table 19: cross-layer combinations, area%/energy% per target",
+		"Core", "Combination", "Metric", "2x", "5x", "50x", "500x", "max")
+	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
+		e := ctx.Engine(kind)
+		benches := e.Benchmarks()
+		for _, r := range headlineCombos(kind) {
+			for _, metric := range []core.Metric{core.SDC, core.DUE} {
+				if r.c.Recovery == recovery.None && metric == core.DUE {
+					// unconstrained detection cannot improve DUE; the
+					// paper reports "-" for these columns
+					t.row(kind.String(), r.name, "DUE", "-", "-", "-", "-", "-")
+					continue
+				}
+				cells, err := sweepRow(e, r.c, metric, benches)
+				if err != nil {
+					return "", err
+				}
+				t.row(append([]string{kind.String(), r.name, metric.String()}, cells...)...)
+			}
+		}
+	}
+	return t.String(), nil
+}
+
+func table20(ctx *Ctx) (string, error) {
+	t := newTable("Table 20: joint SDC/DUE targets (LEAP-DICE + parity + flush/RoB)",
+		"Target", "InO area", "InO energy", "OoO area", "OoO energy")
+	jointTargets := []float64{2, 5, 50, 500, math.Inf(1)}
+	type cell struct{ area, energy float64 }
+	cells := map[string]map[float64]cell{"InO": {}, "OoO": {}}
+	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
+		e := ctx.Engine(kind)
+		c := core.Combo{DICE: true, Parity: true, Recovery: recovery.Flush}
+		if kind == inject.OoO {
+			c.Recovery = recovery.RoB
+		}
+		for _, tgt := range jointTargets {
+			var area, energy float64
+			n := 0
+			for _, b := range e.Benchmarks() {
+				out, err := e.EvalComboJoint(b, c, tgt)
+				if err != nil {
+					return "", err
+				}
+				area += out.Cost.Area
+				energy += out.Cost.Energy()
+				n++
+			}
+			cells[kind.String()][tgt] = cell{area / float64(n), energy / float64(n)}
+		}
+	}
+	for _, tgt := range jointTargets {
+		i := cells["InO"][tgt]
+		o := cells["OoO"][tgt]
+		t.row(targetTimes(tgt), pct(i.area), pct(i.energy), pct(o.area), pct(o.energy))
+	}
+	return t.String(), nil
+}
+
+// abftCovered returns the flip-flops whose errors the ABFT-correction
+// variant of a benchmark eliminates.
+func abftCovered(e *core.Engine, b *bench.Benchmark) (map[int]bool, error) {
+	br, err := e.Base(b)
+	if err != nil {
+		return nil, err
+	}
+	ar, err := e.Campaign(b, core.Variant{ABFT: core.ABFTCorr})
+	if err != nil {
+		return nil, err
+	}
+	covered := map[int]bool{}
+	for bit := range br.PerFF {
+		bs, as := br.PerFF[bit], ar.PerFF[bit]
+		if bs.OMM+bs.UT+bs.Hang > 0 && as.OMM+as.UT+as.Hang+as.ED == 0 && as.N > 0 {
+			covered[bit] = true
+		}
+	}
+	return covered, nil
+}
+
+func table21(ctx *Ctx) (string, error) {
+	t := newTable("Table 21: ABFT cross-layer combinations, area%/energy% per SDC target",
+		"Core", "Combination", "2x", "5x", "50x", "500x", "max")
+	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
+		e := ctx.Engine(kind)
+		rec := recovery.Flush
+		if kind == inject.OoO {
+			rec = recovery.RoB
+		}
+		corrCombo := core.Combo{DICE: true, Parity: true, Recovery: rec,
+			Variant: core.Variant{ABFT: core.ABFTCorr}}
+		cells, err := sweepRow(e, corrCombo, core.SDC, ABFTCorrBenchmarks())
+		if err != nil {
+			return "", err
+		}
+		t.row(append([]string{kind.String(), "ABFT corr + LEAP-DICE + parity (+" + rec.String() + ")"}, cells...)...)
+
+		if kind == inject.InO {
+			detCombo := core.Combo{DICE: true, Parity: true,
+				Variant: core.Variant{ABFT: core.ABFTDet}}
+			cells, err = sweepRow(e, detCombo, core.SDC, ABFTDetBenchmarks())
+			if err != nil {
+				return "", err
+			}
+			t.row(append([]string{kind.String(), "ABFT det + LEAP-DICE + parity (no rec)"}, cells...)...)
+		}
+
+		// LEAP-ctrl augmentation: ABFT-covered flip-flops also get a
+		// mode-switchable cell so non-ABFT applications stay protected.
+		var ctrlCells []string
+		for _, tgt := range targets {
+			var area, energy float64
+			n := 0
+			for _, b := range ABFTCorrBenchmarks() {
+				_, plan, err := e.PlanCombo(b, corrCombo, core.SDC, tgt)
+				if err != nil {
+					return "", err
+				}
+				covered, err := abftCovered(e, b)
+				if err != nil {
+					return "", err
+				}
+				aug := &core.Plan{Assign: append([]core.CellKind{}, plan.Assign...), Recovery: plan.Recovery}
+				for bit := range covered {
+					if aug.Assign[bit] == core.CellNone {
+						aug.Assign[bit] = core.CellCtrlEco
+					}
+				}
+				out, err := e.OutcomeForPlan(b, corrCombo, aug)
+				if err != nil {
+					return "", err
+				}
+				area += out.Cost.Area
+				energy += out.Cost.Energy()
+				n++
+			}
+			ctrlCells = append(ctrlCells, fmt.Sprintf("%.1f/%.1f", 100*area/float64(n), 100*energy/float64(n)))
+		}
+		t.row(append([]string{kind.String(), "ABFT corr + LEAP-ctrl + LEAP-DICE + parity (+" + rec.String() + ")"}, ctrlCells...)...)
+	}
+	return t.String(), nil
+}
+
+func table22(ctx *Ctx) (string, error) {
+	t := newTable("Table 22: flip-flops with errors corrected by ABFT",
+		"Core", "% FFs corrected by ANY algorithm (∪)", "% FFs corrected by EVERY algorithm (∩)")
+	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
+		e := ctx.Engine(kind)
+		var sets []map[int]bool
+		for _, b := range ABFTCorrBenchmarks() {
+			cov, err := abftCovered(e, b)
+			if err != nil {
+				return "", err
+			}
+			sets = append(sets, cov)
+		}
+		union := map[int]bool{}
+		for _, s := range sets {
+			for bit := range s {
+				union[bit] = true
+			}
+		}
+		inter := 0
+		for bit := range union {
+			all := true
+			for _, s := range sets {
+				if !s[bit] {
+					all = false
+					break
+				}
+			}
+			if all {
+				inter++
+			}
+		}
+		n := float64(e.Space.NumBits())
+		t.row(kind.String(), pct(float64(len(union))/n), pct(float64(inter)/n))
+	}
+	return t.String(), nil
+}
+
+func fig8(ctx *Ctx) (string, error) {
+	t := newTable("Figure 8: ABFT correction vs detection (per benchmark, InO)",
+		"Benchmark", "Mode", "SDC improvement", "DUE improvement")
+	e := ctx.InO
+	emit := func(benches []*bench.Benchmark, ab core.ABFTMode, label string) error {
+		for _, b := range benches {
+			s, err := summarize(e, []*bench.Benchmark{b}, core.Variant{ABFT: ab}, 0, power.Cost{}, false)
+			if err != nil {
+				return err
+			}
+			t.row(b.Name, label, imp(s.SDCImp), imp(s.DUEImp))
+		}
+		return nil
+	}
+	if err := emit(ABFTCorrBenchmarks(), core.ABFTCorr, "correction"); err != nil {
+		return "", err
+	}
+	if err := emit(ABFTDetBenchmarks(), core.ABFTDet, "detection"); err != nil {
+		return "", err
+	}
+	return t.String(), nil
+}
+
+func boundFigure(ctx *Ctx, title string, mk func(kind inject.CoreKind) core.Combo) (string, error) {
+	t := newTable(title, "Series", "2x", "5x", "50x", "500x", "max")
+	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
+		e := ctx.Engine(kind)
+		for _, metric := range []core.Metric{core.SDC, core.DUE} {
+			var cells []string
+			for _, tgt := range targets {
+				var energy float64
+				n := 0
+				for _, b := range e.Benchmarks() {
+					out, err := e.EvalCombo(b, mk(kind), metric, tgt)
+					if err != nil {
+						return "", err
+					}
+					energy += out.Cost.Energy()
+					n++
+				}
+				cells = append(cells, pct(energy/float64(n)))
+			}
+			t.row(append([]string{fmt.Sprintf("%s (%s) energy", metric, kind)}, cells...)...)
+		}
+	}
+	return t.String(), nil
+}
+
+func fig9(ctx *Ctx) (string, error) {
+	return boundFigure(ctx,
+		"Figure 9: energy bound, LEAP-DICE + parity + micro-architectural recovery",
+		func(kind inject.CoreKind) core.Combo {
+			rec := recovery.Flush
+			if kind == inject.OoO {
+				rec = recovery.RoB
+			}
+			return core.Combo{DICE: true, Parity: true, Recovery: rec}
+		})
+}
+
+func fig10(ctx *Ctx) (string, error) {
+	return boundFigure(ctx,
+		"Figure 10: energy bound, standalone LEAP-DICE",
+		func(inject.CoreKind) core.Combo { return core.Combo{DICE: true} })
+}
+
+// ---- Figure 1d: the full 586-combination sweep ----
+
+// fig1d composes per-technique campaign measurements to place all 586
+// combinations on the (percent SDC-causing errors protected, energy cost)
+// plane. Multi-technique high-layer coverage is composed per flip-flop
+// assuming independent detection (documented approximation; the headline
+// tables use exact measured stacks).
+func fig1d(ctx *Ctx) (string, error) {
+	type point struct {
+		name      string
+		kind      inject.CoreKind
+		protected float64
+		energy    float64
+	}
+	var points []point
+	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
+		e := ctx.Engine(kind)
+		agg, parts, err := fig1dData(e)
+		if err != nil {
+			return "", err
+		}
+		for _, c := range core.Enumerate(kind) {
+			for _, tgt := range targets {
+				p, en := fig1dPoint(e, agg, parts, c, tgt)
+				points = append(points, point{c.Name(), kind, p, en})
+			}
+		}
+	}
+	// Summarize: per protection decile, the cheapest combinations.
+	t := newTable("Figure 1d: 586 combinations x 5 targets (energy vs %SDC protected)",
+		"Core", "%SDC protected band", "points", "min energy", "median energy", "cheapest combination")
+	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
+		for lo := 0.0; lo < 1.0; lo += 0.2 {
+			hi := lo + 0.2
+			var es []float64
+			best := ""
+			bestE := math.Inf(1)
+			for _, p := range points {
+				if p.kind != kind || p.protected < lo || p.protected >= hi {
+					continue
+				}
+				es = append(es, p.energy)
+				if p.energy < bestE {
+					bestE = p.energy
+					best = p.name
+				}
+			}
+			if len(es) == 0 {
+				continue
+			}
+			sort.Float64s(es)
+			t.row(kind.String(),
+				fmt.Sprintf("%.0f-%.0f%%", 100*lo, 100*hi),
+				fmt.Sprintf("%d", len(es)),
+				pct(es[0]), pct(es[len(es)/2]), best)
+		}
+	}
+	t.row("", "", "", "", "", "")
+	t.row("total points", fmt.Sprintf("%d", len(points)), "", "", "", "")
+	return t.String(), nil
+}

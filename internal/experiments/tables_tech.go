@@ -1,0 +1,555 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"clear/internal/archres"
+	"clear/internal/bench"
+	"clear/internal/core"
+	"clear/internal/inject"
+	"clear/internal/power"
+	"clear/internal/prog"
+	"clear/internal/recovery"
+	"clear/internal/stack"
+	"clear/internal/swres"
+)
+
+func init() {
+	register("table3", "Standalone resilience techniques: costs and improvements", table3)
+	register("table8", "DFC error coverage", table8)
+	register("table10", "Assertions: data vs control variable checks", table10)
+	register("table11", "Assertions: SDC improvement across injection levels", table11)
+	register("table12", "CFCSS error coverage", table12)
+	register("table13", "EDDI: importance of store-readback", table13)
+	register("table14", "EDDI: SDC improvement across injection levels", table14)
+	register("table16", "Selective EDDI variants vs full EDDI", table16)
+}
+
+// techSummary aggregates a technique's measured effect across a benchmark
+// set. recoverED treats detected errors as recovered (a bounded-latency
+// recovery unit is attached).
+type techSummary struct {
+	SDCImp, DUEImp float64
+	ExecImpact     float64
+	DetLatency     float64 // avg cycles, -1 if no detections
+	Gamma          float64
+	Cost           power.Cost
+}
+
+func summarize(e *core.Engine, benches []*bench.Benchmark, v core.Variant,
+	extraFFOv float64, extraCost power.Cost, recoverED bool) (techSummary, error) {
+	var baseSDC, baseDUE, baseN float64
+	var newSDC, newDUE, newN float64
+	var execSum float64
+	var latSum, latN float64
+	for _, b := range benches {
+		br, err := e.Base(b)
+		if err != nil {
+			return techSummary{}, err
+		}
+		tr, err := e.Campaign(b, v)
+		if err != nil {
+			return techSummary{}, err
+		}
+		baseSDC += float64(br.Totals.SDC())
+		baseDUE += float64(br.Totals.UT + br.Totals.Hang)
+		baseN += float64(br.Totals.N)
+		newSDC += float64(tr.Totals.SDC())
+		if recoverED {
+			newDUE += float64(tr.Totals.UT + tr.Totals.Hang)
+		} else {
+			newDUE += float64(tr.Totals.DUE())
+		}
+		newN += float64(tr.Totals.N)
+		ov, err := e.ExecOverhead(b, v)
+		if err != nil {
+			return techSummary{}, err
+		}
+		execSum += ov
+		latSum += float64(tr.DetLatSum)
+		latN += float64(tr.DetN)
+	}
+	n := float64(len(benches))
+	exec := execSum / n
+	combo := core.Combo{Variant: v}
+	gamma := e.HighLevelGamma(combo, exec)
+	if extraFFOv > 0 {
+		gamma *= 1 + extraFFOv
+	}
+	out := techSummary{
+		ExecImpact: exec,
+		Gamma:      gamma,
+		DetLatency: -1,
+		Cost:       e.HighLevelCost(combo, exec).Plus(extraCost),
+	}
+	if latN > 0 {
+		out.DetLatency = latSum / latN
+	}
+	out.SDCImp = stack.Improvement(baseSDC/baseN, newSDC/newN, gamma)
+	out.DUEImp = stack.Improvement(baseDUE/baseN, newDUE/newN, gamma)
+	return out, nil
+}
+
+func latStr(v float64) string {
+	if v < 0 {
+		return "n/a"
+	}
+	if v >= 10000 {
+		return fmt.Sprintf("%.1fK cycles", v/1000)
+	}
+	return fmt.Sprintf("%.0f cycles", v)
+}
+
+func table3(ctx *Ctx) (string, error) {
+	t := newTable("Table 3: standalone techniques (measured on this reproduction's cores)",
+		"Layer", "Technique", "Core", "Area", "Energy", "Exec", "SDC imp", "DUE imp", "Det. latency", "γ")
+
+	// Circuit/logic rows: tunable 0..max; report the max design point.
+	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
+		e := ctx.Engine(kind)
+		for _, row := range []struct {
+			name  string
+			combo core.Combo
+			layer string
+		}{
+			{"LEAP-DICE (no recovery needed)", core.Combo{DICE: true}, "Circuit"},
+			{"EDS (with IR recovery)", core.Combo{EDS: true, Recovery: recovery.IR}, "Circuit"},
+			{"Parity (with IR recovery)", core.Combo{Parity: true, Recovery: recovery.IR}, "Logic"},
+		} {
+			avg, err := e.EvalComboAvg(row.combo, core.SDC, math.Inf(1))
+			if err != nil {
+				return "", err
+			}
+			t.row(row.layer, row.name, kind.String(),
+				"0-"+pct(avg.Cost.Area), "0-"+pct(avg.Cost.Energy()), "0%",
+				"1x-"+imp(avg.SDCImp), "1x-"+imp(avg.DUEImp), "1 cycle",
+				f2(1+recoveryFFOv(row.combo.Recovery, kind)))
+		}
+	}
+
+	// Architecture rows.
+	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
+		e := ctx.Engine(kind)
+		dfc, err := summarize(e, e.Benchmarks(), core.Variant{DFC: true}, 0, power.Cost{}, false)
+		if err != nil {
+			return "", err
+		}
+		t.row("Arch.", "DFC (without recovery)", kind.String(),
+			pct(dfc.Cost.Area), pct(dfc.Cost.Energy()), pct(dfc.ExecImpact),
+			imp(dfc.SDCImp), imp(dfc.DUEImp), latStr(dfc.DetLatency), f2(dfc.Gamma))
+		eirCost := recovery.Cost(recovery.EIR, kind.String())
+		dfcR, err := summarize(e, e.Benchmarks(), core.Variant{DFC: true},
+			recoveryFFOv(recovery.EIR, kind), eirCost, true)
+		if err != nil {
+			return "", err
+		}
+		t.row("Arch.", "DFC (with EIR recovery)", kind.String(),
+			pct(dfcR.Cost.Area), pct(dfcR.Cost.Energy()), pct(dfcR.ExecImpact),
+			imp(dfcR.SDCImp), imp(dfcR.DUEImp), latStr(dfcR.DetLatency), f2(dfcR.Gamma))
+	}
+	mon, err := summarize(ctx.OoO, ctx.OoO.Benchmarks(), core.Variant{Monitor: true},
+		recoveryFFOv(recovery.RoB, inject.OoO), recovery.Cost(recovery.RoB, "OoO"), true)
+	if err != nil {
+		return "", err
+	}
+	t.row("Arch.", "Monitor core (with RoB recovery)", "OoO",
+		pct(mon.Cost.Area), pct(mon.Cost.Energy()), pct(mon.ExecImpact),
+		imp(mon.SDCImp), imp(mon.DUEImp), latStr(mon.DetLatency), f2(mon.Gamma))
+
+	// Software rows (InO only, like the paper).
+	e := ctx.InO
+	for _, row := range []struct {
+		name string
+		v    core.Variant
+	}{
+		{"Assertions (unconstrained)", core.Variant{SW: []core.SWTechnique{core.SWAssertions}, AssertK: swres.AssertCombined}},
+		{"CFCSS (unconstrained)", core.Variant{SW: []core.SWTechnique{core.SWCFCSS}}},
+		{"EDDI w/ store-readback (unconstrained)", core.Variant{SW: []core.SWTechnique{core.SWEDDI}, EDDISrb: true}},
+	} {
+		s, err := summarize(e, e.Benchmarks(), row.v, 0, power.Cost{}, false)
+		if err != nil {
+			return "", err
+		}
+		t.row("SW", row.name, "InO",
+			"0%", pct(s.Cost.Energy()), pct(s.ExecImpact),
+			imp(s.SDCImp), imp(s.DUEImp), latStr(s.DetLatency), f2(s.Gamma))
+	}
+
+	// Algorithm rows (PERFECT kernels that admit each mode).
+	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
+		ee := ctx.Engine(kind)
+		s, err := summarize(ee, ABFTCorrBenchmarks(), core.Variant{ABFT: core.ABFTCorr}, 0, power.Cost{}, false)
+		if err != nil {
+			return "", err
+		}
+		t.row("Alg.", "ABFT correction", kind.String(),
+			"0%", pct(s.Cost.Energy()), pct(s.ExecImpact),
+			imp(s.SDCImp), imp(s.DUEImp), latStr(s.DetLatency), f2(s.Gamma))
+	}
+	s, err := summarize(ctx.InO, ABFTDetBenchmarks(), core.Variant{ABFT: core.ABFTDet}, 0, power.Cost{}, false)
+	if err != nil {
+		return "", err
+	}
+	t.row("Alg.", "ABFT detection (unconstrained)", "InO",
+		"0%", pct(s.Cost.Energy()), pct(s.ExecImpact),
+		imp(s.SDCImp), imp(s.DUEImp), latStr(s.DetLatency), f2(s.Gamma))
+	return t.String(), nil
+}
+
+func recoveryFFOv(k recovery.Kind, kind inject.CoreKind) float64 {
+	if kind == inject.InO {
+		switch k {
+		case recovery.IR:
+			return 0.35
+		case recovery.EIR:
+			return 0.42
+		case recovery.Flush:
+			return 0.01
+		}
+		return 0
+	}
+	switch k {
+	case recovery.IR, recovery.EIR:
+		return 0.055
+	case recovery.RoB:
+		return 0.001
+	}
+	return 0
+}
+
+// coverage computes the Table 8/12-style checker coverage breakdown.
+func coverage(e *core.Engine, v core.Variant) (ffSDC, ffDUE, perFFSDC, perFFDUE, allSDC, allDUE, impSDC, impDUE float64, err error) {
+	var baseSDCcov, baseDUEcov, detSDCcov, detDUEcov float64
+	var nFFSDC, nFFDUE, hitSDC, hitDUE float64
+	var baseSDC, baseDUE, newSDC, newDUE, baseN, newN, execSum float64
+	benches := e.Benchmarks()
+	for _, b := range benches {
+		br, e1 := e.Base(b)
+		if e1 != nil {
+			return 0, 0, 0, 0, 0, 0, 0, 0, e1
+		}
+		tr, e2 := e.Campaign(b, v)
+		if e2 != nil {
+			return 0, 0, 0, 0, 0, 0, 0, 0, e2
+		}
+		for bit := range br.PerFF {
+			bs, ts := br.PerFF[bit], tr.PerFF[bit]
+			if bs.OMM > 0 {
+				nFFSDC++
+				if ts.ED > 0 {
+					hitSDC++
+					baseSDCcov += float64(bs.OMM) / float64(bs.N)
+					r := float64(ts.OMM) / float64(ts.N)
+					detSDCcov += math.Max(0, float64(bs.OMM)/float64(bs.N)-r)
+				}
+			}
+			if bs.UT+bs.Hang > 0 {
+				nFFDUE++
+				if ts.ED > 0 {
+					hitDUE++
+					baseDUEcov += float64(bs.UT+bs.Hang) / float64(bs.N)
+					r := float64(ts.UT+ts.Hang) / float64(ts.N)
+					detDUEcov += math.Max(0, float64(bs.UT+bs.Hang)/float64(bs.N)-r)
+				}
+			}
+		}
+		baseSDC += float64(br.Totals.SDC())
+		baseDUE += float64(br.Totals.UT + br.Totals.Hang)
+		baseN += float64(br.Totals.N)
+		newSDC += float64(tr.Totals.SDC())
+		newDUE += float64(tr.Totals.DUE())
+		newN += float64(tr.Totals.N)
+		ov, e3 := e.ExecOverhead(b, v)
+		if e3 != nil {
+			return 0, 0, 0, 0, 0, 0, 0, 0, e3
+		}
+		execSum += ov
+	}
+	gamma := e.HighLevelGamma(core.Combo{Variant: v}, execSum/float64(len(benches)))
+	ffSDC = safeDiv(hitSDC, nFFSDC)
+	ffDUE = safeDiv(hitDUE, nFFDUE)
+	perFFSDC = safeDiv(detSDCcov, baseSDCcov)
+	perFFDUE = safeDiv(detDUEcov, baseDUEcov)
+	allSDC = math.Max(0, 1-(newSDC/newN)/(baseSDC/baseN))
+	allDUE = math.Max(0, 1-(newDUE/newN)/(baseDUE/baseN))
+	impSDC = stack.Improvement(baseSDC/baseN, newSDC/newN, gamma)
+	impDUE = stack.Improvement(baseDUE/baseN, newDUE/newN, gamma)
+	return ffSDC, ffDUE, perFFSDC, perFFDUE, allSDC, allDUE, impSDC, impDUE, nil
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+func coverageTable(ctx *Ctx, title string, v core.Variant, kinds []inject.CoreKind) (string, error) {
+	header := []string{"Metric"}
+	for _, k := range kinds {
+		header = append(header, k.String()+" SDC", k.String()+" DUE")
+	}
+	t := newTable(title, header...)
+	rows := [][]string{
+		{"% FFs with SDC-/DUE-causing error detected by checker"},
+		{"% of SDC-/DUE-causing errors detected (per covered FF)"},
+		{"overall % of SDC-/DUE-causing errors detected"},
+		{"resulting improvement (Eq. 1)"},
+	}
+	for _, kind := range kinds {
+		e := ctx.Engine(kind)
+		ffS, ffD, pfS, pfD, aS, aD, iS, iD, err := coverage(e, v)
+		if err != nil {
+			return "", err
+		}
+		rows[0] = append(rows[0], pct(ffS), pct(ffD))
+		rows[1] = append(rows[1], pct(pfS), pct(pfD))
+		rows[2] = append(rows[2], pct(aS), pct(aD))
+		rows[3] = append(rows[3], imp(iS), imp(iD))
+	}
+	for _, r := range rows {
+		t.row(r...)
+	}
+	return t.String(), nil
+}
+
+func table8(ctx *Ctx) (string, error) {
+	return coverageTable(ctx, "Table 8: DFC error coverage",
+		core.Variant{DFC: true}, []inject.CoreKind{inject.InO, inject.OoO})
+}
+
+func table12(ctx *Ctx) (string, error) {
+	return coverageTable(ctx, "Table 12: CFCSS error coverage",
+		core.Variant{SW: []core.SWTechnique{core.SWCFCSS}}, []inject.CoreKind{inject.InO})
+}
+
+func table10(ctx *Ctx) (string, error) {
+	e := ctx.InO
+	t := newTable("Table 10: assertions checking data vs control variables",
+		"Metric", "Data checks", "Control checks", "Combined")
+	var sums [3]techSummary
+	for i, k := range []swres.AssertKind{swres.AssertData, swres.AssertControl, swres.AssertCombined} {
+		v := core.Variant{SW: []core.SWTechnique{core.SWAssertions}, AssertK: k}
+		s, err := summarize(e, SubsetBenchmarks(), v, 0, power.Cost{}, false)
+		if err != nil {
+			return "", err
+		}
+		sums[i] = s
+	}
+	t.row("Execution time impact", pct(sums[0].ExecImpact), pct(sums[1].ExecImpact), pct(sums[2].ExecImpact))
+	t.row("SDC improvement", imp(sums[0].SDCImp), imp(sums[1].SDCImp), imp(sums[2].SDCImp))
+	t.row("DUE improvement", imp(sums[0].DUEImp), imp(sums[1].DUEImp), imp(sums[2].DUEImp))
+	// False positives: measured by training on the alternate input set and
+	// running the canonical input error-free (margin 8x the trained width).
+	fpCells := make([]string, 3)
+	for i, k := range []swres.AssertKind{swres.AssertData, swres.AssertControl, swres.AssertCombined} {
+		fired, checks := 0, 0
+		for _, b := range SubsetBenchmarks() {
+			eval := b.MustProgram()
+			alt, err := b.AltProgram()
+			if err != nil {
+				return "", err
+			}
+			fp, err := swres.MeasureFalsePositives(eval, alt, k, 8, 1)
+			if err != nil {
+				return "", err
+			}
+			if fp.Fired {
+				fired++
+			}
+			checks += fp.ChecksExecuted
+		}
+		if checks == 0 {
+			fpCells[i] = "n/a"
+		} else {
+			fpCells[i] = pct(float64(fired) / float64(checks))
+		}
+	}
+	t.row("False positive rate (per dynamic check, alt-input training)",
+		fpCells[0], fpCells[1], fpCells[2])
+	t.row("False positive rate (eval input folded into training)", "0%", "0%", "0%")
+	return t.String(), nil
+}
+
+// highLevelImprovement computes the SDC improvement a software technique
+// shows under one of the naive injection models.
+func highLevelImprovement(base, prot *prog.Program, mode inject.Mode, samples int, gamma float64) (float64, error) {
+	cb, err := inject.RunHighLevel(base, mode, samples, 0xAB1)
+	if err != nil {
+		return 0, err
+	}
+	cp, err := inject.RunHighLevel(prot, mode, samples, 0xAB1)
+	if err != nil {
+		return 0, err
+	}
+	baseRate := float64(cb.SDC()) / float64(cb.N)
+	protRate := float64(cp.SDC()) / float64(cp.N)
+	return stack.Improvement(baseRate, protRate, gamma), nil
+}
+
+func injectionLevelTable(ctx *Ctx, title string, build func(*prog.Program) (*prog.Program, error)) (string, error) {
+	e := ctx.InO
+	t := newTable(title,
+		"App", "Flip-flop (ground truth)", "regU", "regW", "varU", "varW")
+	const samples = 400
+	sums := make(map[string]float64)
+	n := 0
+	for _, b := range SubsetBenchmarks() {
+		base := b.MustProgram()
+		prot, err := build(base)
+		if err != nil {
+			return "", err
+		}
+		// ground truth: flip-flop campaigns
+		br, err := e.Base(b)
+		if err != nil {
+			return "", err
+		}
+		tag := prot.Name[len(base.Name)+1:]
+		v, err := variantForTag(tag)
+		if err != nil {
+			return "", err
+		}
+		tr, err := e.Campaign(b, v)
+		if err != nil {
+			return "", err
+		}
+		ov, err := e.ExecOverhead(b, v)
+		if err != nil {
+			return "", err
+		}
+		gamma := 1 + ov
+		ffImp := stack.Improvement(
+			float64(br.Totals.SDC())/float64(br.Totals.N),
+			float64(tr.Totals.SDC())/float64(tr.Totals.N), gamma)
+		row := []string{b.Name, imp(ffImp)}
+		sums["ff"] += invCap(ffImp)
+		for _, mode := range []inject.Mode{inject.RegUniform, inject.RegWrite, inject.VarUniform, inject.VarWrite} {
+			hi, err := highLevelImprovement(base, prot, mode, samples, gamma)
+			if err != nil {
+				return "", err
+			}
+			row = append(row, imp(hi))
+			sums[mode.String()] += invCap(hi)
+		}
+		t.row(row...)
+		n++
+	}
+	t.row("avg",
+		imp(float64(n)/sums["ff"]),
+		imp(float64(n)/sums["regU"]), imp(float64(n)/sums["regW"]),
+		imp(float64(n)/sums["varU"]), imp(float64(n)/sums["varW"]))
+	return t.String(), nil
+}
+
+func invCap(v float64) float64 {
+	if math.IsInf(v, 1) || v <= 0 {
+		return 1e-6
+	}
+	return 1 / v
+}
+
+// variantForTag reverses a transform suffix into a campaign variant.
+func variantForTag(tag string) (core.Variant, error) {
+	switch tag {
+	case "assert-combined":
+		return core.Variant{SW: []core.SWTechnique{core.SWAssertions}, AssertK: swres.AssertCombined}, nil
+	case "eddi":
+		return core.Variant{SW: []core.SWTechnique{core.SWEDDI}}, nil
+	case "eddi-srb":
+		return core.Variant{SW: []core.SWTechnique{core.SWEDDI}, EDDISrb: true}, nil
+	case "seddi":
+		return core.Variant{SW: []core.SWTechnique{core.SWEDDI}, SelEDDI: true}, nil
+	}
+	return core.Variant{}, fmt.Errorf("experiments: unknown tag %q", tag)
+}
+
+func table11(ctx *Ctx) (string, error) {
+	return injectionLevelTable(ctx,
+		"Table 11: assertions SDC improvement by injection level",
+		func(p *prog.Program) (*prog.Program, error) {
+			return swres.Assertions(p, swres.AssertCombined)
+		})
+}
+
+func table14(ctx *Ctx) (string, error) {
+	return injectionLevelTable(ctx,
+		"Table 14: EDDI (no store-readback) SDC improvement by injection level",
+		func(p *prog.Program) (*prog.Program, error) {
+			return swres.EDDI(p, false)
+		})
+}
+
+func table13(ctx *Ctx) (string, error) {
+	e := ctx.InO
+	t := newTable("Table 13: EDDI with and without store-readback",
+		"Variant", "SDC imp", "% SDC detected", "SDC escapes", "DUE imp", "DUE escapes")
+	for _, srb := range []bool{false, true} {
+		v := core.Variant{SW: []core.SWTechnique{core.SWEDDI}, EDDISrb: srb}
+		var baseSDC, baseDUE, baseN, newSDC, newDUE, newN, execSum float64
+		var escapesSDC, escapesDUE int
+		for _, b := range SubsetBenchmarks() {
+			br, err := e.Base(b)
+			if err != nil {
+				return "", err
+			}
+			tr, err := e.Campaign(b, v)
+			if err != nil {
+				return "", err
+			}
+			baseSDC += float64(br.Totals.SDC())
+			baseDUE += float64(br.Totals.UT + br.Totals.Hang)
+			baseN += float64(br.Totals.N)
+			newSDC += float64(tr.Totals.SDC())
+			newDUE += float64(tr.Totals.DUE())
+			newN += float64(tr.Totals.N)
+			escapesSDC += tr.Totals.SDC()
+			escapesDUE += tr.Totals.UT + tr.Totals.Hang
+			ov, err := e.ExecOverhead(b, v)
+			if err != nil {
+				return "", err
+			}
+			execSum += ov
+		}
+		gamma := 1 + execSum/float64(len(SubsetBenchmarks()))
+		name := "Without store-readback"
+		if srb {
+			name = "With store-readback"
+		}
+		detFrac := math.Max(0, 1-(newSDC/newN)/(baseSDC/baseN))
+		t.row(name,
+			imp(stack.Improvement(baseSDC/baseN, newSDC/newN, gamma)),
+			pct(detFrac),
+			fmt.Sprintf("%d", escapesSDC),
+			imp(stack.Improvement(baseDUE/baseN, newDUE/newN, gamma)),
+			fmt.Sprintf("%d", escapesDUE))
+	}
+	return t.String(), nil
+}
+
+func table16(ctx *Ctx) (string, error) {
+	e := ctx.InO
+	t := newTable("Table 16: selective EDDI variants",
+		"Technique", "Error injection", "SDC imp", "Exec impact")
+	for _, row := range []struct {
+		name string
+		v    core.Variant
+	}{
+		{"EDDI with store-readback (implemented)", core.Variant{SW: []core.SWTechnique{core.SWEDDI}, EDDISrb: true}},
+		{"Selective EDDI / error detectors (implemented)", core.Variant{SW: []core.SWTechnique{core.SWEDDI}, SelEDDI: true}},
+	} {
+		s, err := summarize(e, SubsetBenchmarks(), row.v, 0, power.Cost{}, false)
+		if err != nil {
+			return "", err
+		}
+		t.row(row.name, "Flip-flop", imp(s.SDCImp), fmt.Sprintf("%.2fx", 1+s.ExecImpact))
+	}
+	// literature rows, quoted from the paper for comparison
+	t.row("Reliability-aware transforms (published)", "Arch. reg.", "1.8x", "1.05x")
+	t.row("Shoestring (published)", "Arch. reg.", "5.1x", "1.15x")
+	t.row("SWIFT (published)", "Arch. reg.", "13.7x", "1.41x")
+	_ = archres.MonitorFFOverhead
+	_ = bench.All
+	return t.String(), nil
+}

@@ -1,0 +1,77 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation from the simulators, campaigns and cost models. Each
+// experiment is registered under its paper id ("table3", "fig9", ...) and
+// renders an ASCII table comparable side-by-side with the publication.
+package experiments
+
+import (
+	"clear/internal/bench"
+	"clear/internal/core"
+	"clear/internal/swres"
+)
+
+// The campaign plan: which (benchmark, variant) pairs the experiments rely
+// on. cmd/precompute warms exactly these.
+
+// InOFullVariants are the technique campaigns run on the full 18-benchmark
+// suite of the in-order core.
+func InOFullVariants() []core.Variant {
+	return []core.Variant{
+		{DFC: true},
+		{SW: []core.SWTechnique{core.SWAssertions}, AssertK: swres.AssertCombined},
+		{SW: []core.SWTechnique{core.SWCFCSS}},
+		{SW: []core.SWTechnique{core.SWEDDI}, EDDISrb: true},
+	}
+}
+
+// SubsetBenchmarks is the five-application subset the paper uses for the
+// assertion and EDDI deep-dives (Tables 10/11/13/14/16).
+func SubsetBenchmarks() []*bench.Benchmark {
+	var out []*bench.Benchmark
+	for _, name := range []string{"bzip2", "crafty", "gzip", "mcf", "parser"} {
+		out = append(out, bench.ByName(name))
+	}
+	return out
+}
+
+// InOSubsetVariants are the campaigns run only on SubsetBenchmarks.
+func InOSubsetVariants() []core.Variant {
+	return []core.Variant{
+		{SW: []core.SWTechnique{core.SWAssertions}, AssertK: swres.AssertData},
+		{SW: []core.SWTechnique{core.SWAssertions}, AssertK: swres.AssertControl},
+		{SW: []core.SWTechnique{core.SWEDDI}}, // without store-readback
+		{SW: []core.SWTechnique{core.SWEDDI}, SelEDDI: true},
+	}
+}
+
+// OoOVariants are the technique campaigns of the out-of-order core.
+func OoOVariants() []core.Variant {
+	return []core.Variant{
+		{DFC: true},
+		{Monitor: true},
+	}
+}
+
+// ABFTCorrBenchmarks are the three correction-amenable PERFECT kernels.
+func ABFTCorrBenchmarks() []*bench.Benchmark {
+	var out []*bench.Benchmark
+	for _, name := range []string{"2d_convolution", "debayer_filter", "inner_product"} {
+		out = append(out, bench.ByName(name))
+	}
+	return out
+}
+
+// ABFTDetBenchmarks are the detection-only PERFECT kernels.
+func ABFTDetBenchmarks() []*bench.Benchmark {
+	var out []*bench.Benchmark
+	for _, name := range []string{"fft", "histogram_eq", "interpolate", "outer_product"} {
+		out = append(out, bench.ByName(name))
+	}
+	return out
+}
+
+// ABFTCorrVariants is the ABFT-correction campaign variant.
+func ABFTCorrVariants() []core.Variant { return []core.Variant{{ABFT: core.ABFTCorr}} }
+
+// ABFTDetVariants is the ABFT-detection campaign variant.
+func ABFTDetVariants() []core.Variant { return []core.Variant{{ABFT: core.ABFTDet}} }

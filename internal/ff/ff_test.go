@@ -1,0 +1,228 @@
+package ff
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAllocAndLookup(t *testing.T) {
+	s := NewSpace()
+	a := s.Alloc("decode", "d.inst", 32)
+	b := s.Alloc("execute", "e.y", 32)
+	c := s.Alloc("write", "w.s.icc", 4)
+	if s.NumBits() != 68 {
+		t.Fatalf("NumBits = %d, want 68", s.NumBits())
+	}
+	if s.NumFields() != 3 {
+		t.Fatalf("NumFields = %d, want 3", s.NumFields())
+	}
+	if a.Offset() != 0 || b.Offset() != 32 || c.Offset() != 64 {
+		t.Fatalf("offsets wrong: %d %d %d", a.Offset(), b.Offset(), c.Offset())
+	}
+	f, ok := s.Lookup("e.y")
+	if !ok || f.Offset() != 32 || f.Width() != 32 {
+		t.Fatalf("Lookup(e.y) = %+v, %v", f, ok)
+	}
+	if _, ok := s.Lookup("nope"); ok {
+		t.Fatal("Lookup of missing field succeeded")
+	}
+}
+
+func TestAllocPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(*Space)
+	}{
+		{"duplicate", func(s *Space) { s.Alloc("u", "x", 1); s.Alloc("u", "x", 1) }},
+		{"zero width", func(s *Space) { s.Alloc("u", "x", 0) }},
+		{"too wide", func(s *Space) { s.Alloc("u", "x", 65) }},
+		{"after freeze", func(s *Space) { s.Freeze(); s.Alloc("u", "x", 1) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", tc.name)
+				}
+			}()
+			tc.f(NewSpace())
+		})
+	}
+}
+
+func TestNameOf(t *testing.T) {
+	s := NewSpace()
+	s.Alloc("decode", "d.inst", 32)
+	s.Alloc("execute", "e.y", 32)
+	name, unit := s.NameOf(0)
+	if name != "d.inst" || unit != "decode" {
+		t.Fatalf("NameOf(0) = %q/%q", name, unit)
+	}
+	name, unit = s.NameOf(31)
+	if name != "d.inst" || unit != "decode" {
+		t.Fatalf("NameOf(31) = %q/%q", name, unit)
+	}
+	name, _ = s.NameOf(32)
+	if name != "e.y" {
+		t.Fatalf("NameOf(32) = %q", name)
+	}
+	if u := s.UnitOf(63); u != "execute" {
+		t.Fatalf("UnitOf(63) = %q", u)
+	}
+}
+
+func TestUnitsAndBitsOf(t *testing.T) {
+	s := NewSpace()
+	s.Alloc("b", "x", 3)
+	s.Alloc("a", "y", 2)
+	s.Alloc("b", "z", 1)
+	units := s.Units()
+	if len(units) != 2 || units[0] != "a" || units[1] != "b" {
+		t.Fatalf("Units = %v", units)
+	}
+	bits := s.BitsOf("y")
+	if len(bits) != 2 || bits[0] != 3 || bits[1] != 4 {
+		t.Fatalf("BitsOf(y) = %v", bits)
+	}
+	if s.BitsOf("missing") != nil {
+		t.Fatal("BitsOf(missing) should be nil")
+	}
+}
+
+func TestGetSetRoundTrip(t *testing.T) {
+	// Fields straddling word boundaries must round-trip correctly.
+	s := NewSpace()
+	var fields []Field
+	widths := []int{1, 7, 32, 64, 5, 33, 64, 13, 64, 3}
+	for i, w := range widths {
+		fields = append(fields, s.Alloc("u", string(rune('a'+i)), w))
+	}
+	st := s.NewState()
+	rng := rand.New(rand.NewSource(1))
+	want := make([]uint64, len(fields))
+	for iter := 0; iter < 200; iter++ {
+		i := rng.Intn(len(fields))
+		v := rng.Uint64()
+		fields[i].Set(st, v)
+		if fields[i].Width() < 64 {
+			v &= 1<<uint(fields[i].Width()) - 1
+		}
+		want[i] = v
+		for j, f := range fields {
+			if got := f.Get(st); got != want[j] {
+				t.Fatalf("iter %d: field %d = %#x, want %#x", iter, j, got, want[j])
+			}
+		}
+	}
+}
+
+func TestGetSigned(t *testing.T) {
+	s := NewSpace()
+	f := s.Alloc("u", "x", 16)
+	g := s.Alloc("u", "y", 64)
+	st := s.NewState()
+	f.Set(st, 0xFFFF)
+	if got := f.GetSigned(st); got != -1 {
+		t.Fatalf("GetSigned(0xFFFF) = %d, want -1", got)
+	}
+	f.Set(st, 0x7FFF)
+	if got := f.GetSigned(st); got != 32767 {
+		t.Fatalf("GetSigned(0x7FFF) = %d, want 32767", got)
+	}
+	g.Set(st, ^uint64(0))
+	if got := g.GetSigned(st); got != -1 {
+		t.Fatalf("64-bit GetSigned = %d, want -1", got)
+	}
+}
+
+func TestFlipBit(t *testing.T) {
+	s := NewSpace()
+	f := s.Alloc("u", "x", 32)
+	st := s.NewState()
+	f.Set(st, 0)
+	st.FlipBit(f.Offset() + 5)
+	if got := f.Get(st); got != 32 {
+		t.Fatalf("after flip bit 5: %d, want 32", got)
+	}
+	st.FlipBit(f.Offset() + 5)
+	if got := f.Get(st); got != 0 {
+		t.Fatalf("double flip should restore: got %d", got)
+	}
+}
+
+func TestStateCloneEqualReset(t *testing.T) {
+	s := NewSpace()
+	f := s.Alloc("u", "x", 40)
+	st := s.NewState()
+	f.Set(st, 0xABCDE12345)
+	cl := st.Clone()
+	if !st.Equal(cl) {
+		t.Fatal("clone not equal")
+	}
+	cl.FlipBit(3)
+	if st.Equal(cl) {
+		t.Fatal("flip not detected by Equal")
+	}
+	other := s.NewState()
+	other.CopyFrom(st)
+	if !st.Equal(other) {
+		t.Fatal("CopyFrom not equal")
+	}
+	st.Reset()
+	if f.Get(st) != 0 {
+		t.Fatal("Reset did not zero")
+	}
+}
+
+// Property: a double flip of any bit is the identity, and a single flip
+// changes exactly the targeted field.
+func TestFlipProperty(t *testing.T) {
+	s := NewSpace()
+	var fields []Field
+	for i := 0; i < 10; i++ {
+		fields = append(fields, s.Alloc("u", string(rune('a'+i)), 17))
+	}
+	prop := func(vals [10]uint16, bitSel uint16) bool {
+		st := s.NewState()
+		for i, f := range fields {
+			f.Set(st, uint64(vals[i])|uint64(vals[i]&1)<<16)
+		}
+		before := st.Clone()
+		bit := int(bitSel) % s.NumBits()
+		st.FlipBit(bit)
+		// Exactly one field differs, and it is the one containing bit.
+		name, _ := s.NameOf(bit)
+		diffs := 0
+		for i, f := range fields {
+			if f.Get(st) != f.Get(before) {
+				diffs++
+				fname := string(rune('a' + i))
+				if fname != name {
+					return false
+				}
+			}
+		}
+		if diffs != 1 {
+			return false
+		}
+		st.FlipBit(bit)
+		return st.Equal(before)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFieldGetSet(b *testing.B) {
+	s := NewSpace()
+	f := s.Alloc("u", "x", 33) // straddles a word boundary after padding
+	s.Alloc("u", "pad", 40)
+	g := s.Alloc("u", "y", 32)
+	st := s.NewState()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Set(st, uint64(i))
+		g.Set(st, f.Get(st))
+	}
+}

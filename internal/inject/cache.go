@@ -1,0 +1,107 @@
+package inject
+
+import (
+	"encoding/gob"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"clear/internal/prog"
+	"clear/internal/sim"
+)
+
+// Campaign results are expensive (tens of seconds for the OoO core), so they
+// are cached on disk keyed by a hash of the configuration and the exact
+// program binary. Delete the cache directory (or set CLEAR_CACHE_DIR) to
+// force re-runs.
+
+var (
+	cacheDirOnce sync.Once
+	cacheDirPath string
+)
+
+// CacheDir returns the campaign cache directory: $CLEAR_CACHE_DIR if set
+// (consulted on every call, so tests overriding it do not poison later
+// lookups), else testdata/cache under the enclosing Go module root, else a
+// temp dir (the fallback is memoized).
+func CacheDir() string {
+	if d := os.Getenv("CLEAR_CACHE_DIR"); d != "" {
+		return d
+	}
+	cacheDirOnce.Do(func() {
+		dir, err := os.Getwd()
+		if err == nil {
+			for {
+				if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+					cacheDirPath = filepath.Join(dir, "testdata", "cache")
+					return
+				}
+				parent := filepath.Dir(dir)
+				if parent == dir {
+					break
+				}
+				dir = parent
+			}
+		}
+		cacheDirPath = filepath.Join(os.TempDir(), "clear-cache")
+	})
+	return cacheDirPath
+}
+
+func cacheKey(cfg Config, p *prog.Program) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%s|%d|%d|", cfg.Core, cfg.Bench, cfg.Tag, cfg.SamplesPerFF, cfg.Seed)
+	for _, w := range p.Words {
+		var b [4]byte
+		b[0], b[1], b[2], b[3] = byte(w), byte(w>>8), byte(w>>16), byte(w>>24)
+		h.Write(b[:])
+	}
+	for _, w := range p.Data {
+		var b [4]byte
+		b[0], b[1], b[2], b[3] = byte(w), byte(w>>8), byte(w>>16), byte(w>>24)
+		h.Write(b[:])
+	}
+	return fmt.Sprintf("%s-%s-%s-%016x.gob", cfg.Core, cfg.Bench, nonEmpty(cfg.Tag), h.Sum64())
+}
+
+func nonEmpty(s string) string {
+	if s == "" {
+		return "base"
+	}
+	return s
+}
+
+// Campaign runs (or loads from cache) the injection campaign for cfg.
+func Campaign(cfg Config, p *prog.Program, hookFactory func(*prog.Program) sim.CommitHook) (*Result, error) {
+	path := filepath.Join(CacheDir(), cacheKey(cfg, p))
+	if f, err := os.Open(path); err == nil {
+		var r Result
+		err := gob.NewDecoder(f).Decode(&r)
+		f.Close()
+		if err == nil && len(r.PerFF) == SpaceBits(cfg.Core) {
+			return &r, nil
+		}
+		// stale or corrupt: fall through and regenerate
+		os.Remove(path)
+	}
+	r, err := Run(cfg, p, hookFactory)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(CacheDir(), 0o755); err == nil {
+		tmp, err := os.CreateTemp(CacheDir(), "campaign-*")
+		if err == nil {
+			encErr := gob.NewEncoder(tmp).Encode(r)
+			name := tmp.Name()
+			tmp.Close()
+			if encErr == nil {
+				os.Rename(name, path)
+			} else {
+				os.Remove(name)
+			}
+		}
+	}
+	return r, nil
+}

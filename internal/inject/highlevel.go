@@ -1,0 +1,143 @@
+package inject
+
+import (
+	"fmt"
+
+	"clear/internal/isa"
+	"clear/internal/prog"
+)
+
+// High-level (naive) injection modes, reproducing the paper's Tables 11 and
+// 14: architecture-register and program-variable error injection performed
+// on the functional simulator. The paper shows these can grossly mis-
+// estimate improvements relative to flip-flop-level injection; the harness
+// reproduces that comparison.
+
+// Mode selects a high-level injection model.
+type Mode int
+
+// High-level injection modes (paper nomenclature).
+const (
+	RegUniform Mode = iota // regU: random register, random instruction
+	RegWrite               // regW: corrupt a value as it is written to a register
+	VarUniform             // varU: random program-variable word, random instruction
+	VarWrite               // varW: corrupt a value as it is stored to a variable
+)
+
+func (m Mode) String() string {
+	switch m {
+	case RegUniform:
+		return "regU"
+	case RegWrite:
+		return "regW"
+	case VarUniform:
+		return "varU"
+	case VarWrite:
+		return "varW"
+	}
+	return "?"
+}
+
+// writeEvent records a dynamic write target for the write-triggered modes.
+type writeEvent struct {
+	step int
+	loc  int // register number or memory address
+}
+
+// profile collects the dynamic register-write and variable-store events of
+// a program's nominal execution.
+func profile(p *prog.Program, maxSteps int) (regWrites, varStores []writeEvent, steps int, err error) {
+	inVar := func(addr int32) bool {
+		for _, v := range p.Vars {
+			if int(addr) >= v.Addr && int(addr) < v.Addr+v.Len {
+				return true
+			}
+		}
+		return false
+	}
+	s := prog.NewISS(p)
+	s.Hook = func(s *prog.ISS, step int) {
+		if s.PC < 0 || s.PC >= len(p.Code) {
+			return
+		}
+		in := p.Code[s.PC]
+		if in.Op.Valid() && in.Op.WritesReg() && in.Rd != 0 {
+			regWrites = append(regWrites, writeEvent{step: step, loc: int(in.Rd)})
+		}
+		if in.Op == isa.SW {
+			addr := int32(s.R[in.Rs1]) + in.Imm
+			if inVar(addr) {
+				varStores = append(varStores, writeEvent{step: step, loc: int(addr)})
+			}
+		}
+	}
+	res := s.Run(maxSteps)
+	if res.Status != prog.StatusHalted {
+		return nil, nil, 0, fmt.Errorf("inject: profile run of %s: %v", p.Name, res.Status)
+	}
+	return regWrites, varStores, res.Steps, nil
+}
+
+// RunHighLevel performs a high-level injection campaign on the functional
+// simulator and returns outcome tallies. Programs injected in the Var modes
+// must declare Vars.
+func RunHighLevel(p *prog.Program, mode Mode, samples int, seed uint64) (Counts, error) {
+	var counts Counts
+	regWrites, varStores, steps, err := profile(p, 8_000_000)
+	if err != nil {
+		return counts, err
+	}
+	var varWords []int
+	for _, v := range p.Vars {
+		for a := v.Addr; a < v.Addr+v.Len; a++ {
+			varWords = append(varWords, a)
+		}
+	}
+	if (mode == VarUniform && len(varWords) == 0) ||
+		(mode == VarWrite && len(varStores) == 0) {
+		return counts, fmt.Errorf("inject: %s has no variables for mode %v", p.Name, mode)
+	}
+	if mode == RegWrite && len(regWrites) == 0 {
+		return counts, fmt.Errorf("inject: %s has no register writes", p.Name)
+	}
+
+	for k := 0; k < samples; k++ {
+		h := splitmix64(seed ^ uint64(k)<<24)
+		h2 := splitmix64(h)
+		bit := uint(h2 % 32)
+		var atStep, loc int
+		switch mode {
+		case RegUniform:
+			atStep = int(h % uint64(steps))
+			loc = 1 + int(h2>>8%31)
+		case RegWrite:
+			ev := regWrites[h%uint64(len(regWrites))]
+			atStep, loc = ev.step+1, ev.loc
+		case VarUniform:
+			atStep = int(h % uint64(steps))
+			loc = varWords[int(h2>>8%uint64(len(varWords)))]
+		case VarWrite:
+			ev := varStores[h%uint64(len(varStores))]
+			atStep, loc = ev.step+1, ev.loc
+		}
+		s := prog.NewISS(p)
+		fired := false
+		s.Hook = func(s *prog.ISS, step int) {
+			if fired || step != atStep {
+				return
+			}
+			fired = true
+			switch mode {
+			case RegUniform, RegWrite:
+				s.R[loc&31] ^= 1 << bit
+			default:
+				if loc >= 0 && loc < len(s.Mem) {
+					s.Mem[loc] ^= 1 << bit
+				}
+			}
+		}
+		res := s.Run(HangFactor * steps)
+		counts.Add(Classify(p, res))
+	}
+	return counts, nil
+}

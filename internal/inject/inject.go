@@ -1,0 +1,355 @@
+// Package inject is the fault-injection engine: it flips single flip-flop
+// bits at uniformly sampled (flip-flop, cycle) points while a core runs an
+// application benchmark, classifies each run's outcome, and aggregates
+// per-flip-flop vulnerability statistics.
+//
+// Outcome classes follow the paper (Sec 2.1):
+//
+//	Vanished — normal termination, outputs match the error-free run
+//	OMM      — normal termination, outputs differ (SDC-causing)
+//	UT       — abnormal termination (DUE-causing)
+//	Hang     — no termination within 2x nominal cycles (DUE-causing)
+//	ED       — a resilience technique flagged the error (DUE-causing when
+//	           no recovery is attached)
+package inject
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"clear/internal/ino"
+	"clear/internal/ooo"
+	"clear/internal/prog"
+	"clear/internal/sim"
+)
+
+// Outcome is the classification of a single injection run.
+type Outcome int
+
+// Injection outcome classes.
+const (
+	Vanished Outcome = iota
+	OMM
+	UT
+	Hang
+	ED
+	numOutcomes
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case Vanished:
+		return "Vanished"
+	case OMM:
+		return "OMM"
+	case UT:
+		return "UT"
+	case Hang:
+		return "Hang"
+	case ED:
+		return "ED"
+	}
+	return "?"
+}
+
+// CoreKind selects which processor design is injected.
+type CoreKind int
+
+// The two processor designs studied.
+const (
+	InO CoreKind = iota
+	OoO
+)
+
+func (k CoreKind) String() string {
+	if k == InO {
+		return "InO"
+	}
+	return "OoO"
+}
+
+// NewCore instantiates a fresh core of the given kind bound to p.
+func NewCore(k CoreKind, p *prog.Program) sim.Core {
+	if k == InO {
+		return ino.New(p)
+	}
+	return ooo.New(p)
+}
+
+// SpaceBits returns the flip-flop count of a core kind.
+func SpaceBits(k CoreKind) int {
+	if k == InO {
+		return ino.Space().NumBits()
+	}
+	return ooo.Space().NumBits()
+}
+
+// HangFactor is the hang cutoff multiplier over nominal execution time
+// (the paper uses 2x).
+const HangFactor = 2
+
+// Classify maps a finished run to an outcome class.
+func Classify(p *prog.Program, res prog.Result) Outcome {
+	switch res.Status {
+	case prog.StatusHalted:
+		if p.OutputsEqual(res.Output) {
+			return Vanished
+		}
+		return OMM
+	case prog.StatusTrap:
+		return UT
+	case prog.StatusDetected:
+		return ED
+	default:
+		return Hang
+	}
+}
+
+// RunOne performs a single injection: run core to cycle, flip bit, run to
+// completion or the hang cutoff, classify. hookFactory, when non-nil,
+// supplies a fresh commit-stream checker for the run (its detections
+// classify as ED). The returned detectCycle is the cycle at which a
+// detection fired (-1 otherwise).
+func RunOne(c sim.Core, p *prog.Program, bit, cycle, nomCycles int,
+	hookFactory func(*prog.Program) sim.CommitHook) (Outcome, int) {
+	c.Reset(p)
+	if hookFactory != nil {
+		c.SetCommitHook(hookFactory(p))
+	} else {
+		c.SetCommitHook(nil)
+	}
+	for i := 0; i < cycle && !c.Done(); i++ {
+		c.Step()
+	}
+	c.State().FlipBit(bit)
+	res := c.Run(HangFactor * nomCycles)
+	out := Classify(p, res)
+	det := -1
+	if out == ED {
+		det = res.Steps
+	}
+	return out, det
+}
+
+// Counts aggregates outcome tallies.
+type Counts struct {
+	N        int
+	Vanished int
+	OMM      int
+	UT       int
+	Hang     int
+	ED       int
+}
+
+// Add accumulates one outcome.
+func (c *Counts) Add(o Outcome) {
+	c.N++
+	switch o {
+	case Vanished:
+		c.Vanished++
+	case OMM:
+		c.OMM++
+	case UT:
+		c.UT++
+	case Hang:
+		c.Hang++
+	case ED:
+		c.ED++
+	}
+}
+
+// Merge accumulates other into c.
+func (c *Counts) Merge(other Counts) {
+	c.N += other.N
+	c.Vanished += other.Vanished
+	c.OMM += other.OMM
+	c.UT += other.UT
+	c.Hang += other.Hang
+	c.ED += other.ED
+}
+
+// SDC returns the count of SDC-causing errors (output mismatches).
+func (c Counts) SDC() int { return c.OMM }
+
+// DUE returns the count of DUE-causing errors (UT + Hang + ED).
+func (c Counts) DUE() int { return c.UT + c.Hang + c.ED }
+
+// FFStats is the per-flip-flop outcome tally of a campaign.
+type FFStats struct {
+	N    uint16 // samples on this flip-flop
+	OMM  uint16
+	UT   uint16
+	Hang uint16
+	ED   uint16
+}
+
+// SDCFrac returns the fraction of errors in this flip-flop causing SDC.
+func (f FFStats) SDCFrac() float64 {
+	if f.N == 0 {
+		return 0
+	}
+	return float64(f.OMM) / float64(f.N)
+}
+
+// DUEFrac returns the fraction of errors in this flip-flop causing DUE.
+func (f FFStats) DUEFrac() float64 {
+	if f.N == 0 {
+		return 0
+	}
+	return float64(f.UT+f.Hang+f.ED) / float64(f.N)
+}
+
+// Config describes an injection campaign: a (core, program) pair plus
+// sampling parameters. Tag distinguishes campaigns whose behavior differs
+// through a commit hook or transformed program (e.g. "dfc", "eddi").
+type Config struct {
+	Core         CoreKind
+	Bench        string
+	Tag          string
+	SamplesPerFF int
+	Seed         uint64
+}
+
+// Result is a completed campaign: per-flip-flop statistics over uniform
+// (flip-flop, cycle) samples.
+type Result struct {
+	Config    Config
+	NomCycles int
+	NomRet    int64 // retired instructions in the nominal run
+	PerFF     []FFStats
+	Totals    Counts
+	// Detection latency statistics over ED outcomes (cycles from injection
+	// to detection).
+	DetLatSum int64
+	DetN      int64
+}
+
+// SDCCount and DUECount report campaign-wide outcome totals.
+func (r *Result) SDCCount() int { return r.Totals.SDC() }
+
+// DUECount reports total DUE-causing errors in the campaign.
+func (r *Result) DUECount() int { return r.Totals.DUE() }
+
+// splitmix64 provides deterministic per-sample randomness.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Run executes a campaign: SamplesPerFF uniform-random cycles for every
+// flip-flop bit. The program may be a transformed (software-protected)
+// variant; hookFactory attaches an architecture-level checker.
+func Run(cfg Config, p *prog.Program, hookFactory func(*prog.Program) sim.CommitHook) (*Result, error) {
+	if p.Expected == nil {
+		return nil, fmt.Errorf("inject: %s has no golden output", p.Name)
+	}
+	nom := NewCore(cfg.Core, p)
+	if hookFactory != nil {
+		nom.SetCommitHook(hookFactory(p))
+	}
+	nomRes := nom.Run(8_000_000)
+	if nomRes.Status != prog.StatusHalted || !p.OutputsEqual(nomRes.Output) {
+		return nil, fmt.Errorf("inject: nominal run of %s/%s failed: %v", cfg.Bench, cfg.Tag, nomRes.Status)
+	}
+	nomCycles := nomRes.Steps
+	nBits := SpaceBits(cfg.Core)
+
+	res := &Result{
+		Config:    cfg,
+		NomCycles: nomCycles,
+		NomRet:    nom.Retired(),
+		PerFF:     make([]FFStats, nBits),
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	type chunk struct{ lo, hi int }
+	chunks := make(chan chunk, workers)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			core := NewCore(cfg.Core, p)
+			local := make([]FFStats, nBits)
+			var totals Counts
+			var latSum, latN int64
+			for ch := range chunks {
+				for bit := ch.lo; bit < ch.hi; bit++ {
+					for s := 0; s < cfg.SamplesPerFF; s++ {
+						h := splitmix64(cfg.Seed ^ uint64(bit)<<20 ^ uint64(s))
+						cycle := int(h % uint64(nomCycles))
+						out, det := RunOne(core, p, bit, cycle, nomCycles, hookFactory)
+						if out == ED && det >= cycle {
+							latSum += int64(det - cycle)
+							latN++
+						}
+						st := &local[bit]
+						st.N++
+						switch out {
+						case OMM:
+							st.OMM++
+						case UT:
+							st.UT++
+						case Hang:
+							st.Hang++
+						case ED:
+							st.ED++
+						}
+						totals.Add(out)
+					}
+				}
+			}
+			mu.Lock()
+			for i := range local {
+				res.PerFF[i].N += local[i].N
+				res.PerFF[i].OMM += local[i].OMM
+				res.PerFF[i].UT += local[i].UT
+				res.PerFF[i].Hang += local[i].Hang
+				res.PerFF[i].ED += local[i].ED
+			}
+			res.Totals.Merge(totals)
+			res.DetLatSum += latSum
+			res.DetN += latN
+			mu.Unlock()
+		}()
+	}
+	const step = 64
+	for lo := 0; lo < nBits; lo += step {
+		hi := lo + step
+		if hi > nBits {
+			hi = nBits
+		}
+		chunks <- chunk{lo, hi}
+	}
+	close(chunks)
+	wg.Wait()
+	return res, nil
+}
+
+// RunPair performs a single-event multiple-upset (SEMU) injection: two
+// flip-flops struck by one particle flip in the same cycle. The paper's
+// layout constraint (Tables 5/6) exists precisely because an even number
+// of flips inside one parity group is invisible to an XOR tree.
+func RunPair(c sim.Core, p *prog.Program, bitA, bitB, cycle, nomCycles int,
+	hookFactory func(*prog.Program) sim.CommitHook) Outcome {
+	c.Reset(p)
+	if hookFactory != nil {
+		c.SetCommitHook(hookFactory(p))
+	} else {
+		c.SetCommitHook(nil)
+	}
+	for i := 0; i < cycle && !c.Done(); i++ {
+		c.Step()
+	}
+	c.State().FlipBit(bitA)
+	c.State().FlipBit(bitB)
+	res := c.Run(HangFactor * nomCycles)
+	return Classify(p, res)
+}

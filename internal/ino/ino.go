@@ -1,0 +1,747 @@
+// Package ino implements the in-order processor core (the paper's SPARC
+// Leon3 stand-in): a 7-stage pipeline — fetch (F), decode (D), register
+// access (A), execute (E), memory (M), exception (X), writeback (W) — with
+// full forwarding, load-use interlock, and branch resolution in execute.
+//
+// Every inter-stage latch, status register and control register is a named
+// field in a ff.Space, using the structure names of the paper's Appendix A
+// (e.ctrl.inst, m.y, w.s.icc, ...). A soft error is a single bit flip in
+// that space between two clock cycles; outcomes (vanish, output mismatch,
+// trap, hang) emerge from ordinary pipeline execution of the corrupted
+// state, exactly as in the paper's RTL-level injection.
+//
+// The register file and memories are explicitly NOT part of the flip-flop
+// space: the paper protects RAMs with coding techniques and targets
+// flip-flops only.
+package ino
+
+import (
+	"clear/internal/ff"
+	"clear/internal/isa"
+	"clear/internal/prog"
+	"clear/internal/sim"
+)
+
+// illegalWord is the instruction word returned for out-of-range fetches; its
+// opcode field decodes as illegal and traps at execute.
+const illegalWord = 0xFFFFFFFF
+
+// regs holds the flip-flop field handles of the core. Names follow the
+// paper's Appendix A conventions for the Leon3.
+type regs struct {
+	// fetch
+	fPC ff.Field
+	// decode latch (F/D)
+	dInst, dPC  ff.Field
+	dValid, dPV ff.Field
+	dMexc, dCnt ff.Field
+	// register-access latch (D/A)
+	aInst, aPC         ff.Field
+	aValid             ff.Field
+	aRs1, aRs2         ff.Field
+	aCWP, aRFE1, aRFE2 ff.Field
+	aTT, aWY           ff.Field
+	// execute latch (A/E)
+	eInst, ePC     ff.Field
+	eValid         ff.Field
+	eOp1, eOp2     ff.Field
+	eY             ff.Field
+	eTT, eCWP      ff.Field
+	eET, eMAC      ff.Field
+	eMul, eMulstep ff.Field
+	eSU, eYMSB     ff.Field
+	// memory latch (E/M)
+	mInst, mPC         ff.Field
+	mValid             ff.Field
+	mResult, mStoreVal ff.Field
+	mTrap, mTT         ff.Field
+	mY, mICC           ff.Field
+	mWICC, mWY         ff.Field
+	mDciASI            ff.Field
+	mDciLock, mDciSign ff.Field
+	mIrqen, mIrqen2    ff.Field
+	// exception latch (M/X)
+	xInst, xPC      ff.Field
+	xValid          ff.Field
+	xResult         ff.Field
+	xTrap, xTT      ff.Field
+	xY, xICC        ff.Field
+	xNPC            ff.Field
+	xAddr           ff.Field
+	xStoreVal       ff.Field
+	xWICC, xWY      ff.Field
+	xRETT, xPV      ff.Field
+	xDebug          ff.Field
+	xIntack, xIpend ff.Field
+	xAnnul          ff.Field
+	// writeback latch (X/W) and architectural status (w.s.*)
+	wInst, wPC   ff.Field
+	wValid       ff.Field
+	wResult      ff.Field
+	wTrap, wTT   ff.Field
+	wAddr        ff.Field
+	wStoreVal    ff.Field
+	wSICC, wSY   ff.Field
+	wSTT, wSTBA  ff.Field
+	wSWIM, wSPIL ff.Field
+	wSEC, wSEF   ff.Field
+	wSPS, wSET   ff.Field
+	wSCWP, wSDWT ff.Field
+	// cache/control structures (present in Leon3; exercised but output-
+	// neutral for these workloads, like the paper's always-vanish FFs)
+	icCfg, dcCfg ff.Field
+}
+
+var _ sim.Core = (*Core)(nil)
+
+// Core is an instance of the in-order core bound to a program.
+type Core struct {
+	space *ff.Space
+	r     regs
+	st    *ff.State
+
+	program *prog.Program
+	regfile [32]uint32
+	mem     []uint32
+	out     []uint32
+
+	cycles  int
+	retired int64
+	done    bool
+	status  prog.Status
+
+	// recoveryNext is the flush-recovery refetch point: the next PC in
+	// program order after the newest instruction that has completed its
+	// memory access. nextAtM stages that value alongside the instruction
+	// currently in the memory stage. Both model the recovery control's
+	// hardened shadow registers (Fig 5) and are therefore not part of the
+	// injectable flip-flop space.
+	recoveryNext uint32
+	nextAtM      uint32
+
+	hook sim.CommitHook
+}
+
+// NewSpace builds the flip-flop space of the in-order core. The same space
+// (and therefore the same bit numbering) is shared by every Core instance,
+// so injection targets and protection maps are stable across runs.
+func NewSpace() *ff.Space {
+	s := ff.NewSpace()
+	var r regs
+	allocInto(s, &r)
+	s.Freeze()
+	return s
+}
+
+func allocInto(s *ff.Space, r *regs) {
+	// fetch
+	r.fPC = s.Alloc("fetch", "f.pc", 32)
+	// decode
+	r.dInst = s.Alloc("decode", "d.inst", 32)
+	r.dPC = s.Alloc("decode", "d.pc", 32)
+	r.dValid = s.Alloc("decode", "d.valid", 1)
+	r.dPV = s.Alloc("decode", "d.pv", 1)
+	r.dMexc = s.Alloc("decode", "d.mexc", 1)
+	r.dCnt = s.Alloc("decode", "d.cnt", 2)
+	// register access
+	r.aInst = s.Alloc("regacc", "a.ctrl.inst", 32)
+	r.aPC = s.Alloc("regacc", "a.ctrl.pc", 32)
+	r.aValid = s.Alloc("regacc", "a.ctrl.valid", 1)
+	r.aRs1 = s.Alloc("regacc", "a.rs1", 5)
+	r.aRs2 = s.Alloc("regacc", "a.rs2", 5)
+	r.aCWP = s.Alloc("regacc", "a.cwp", 3)
+	r.aRFE1 = s.Alloc("regacc", "a.rfe1", 1)
+	r.aRFE2 = s.Alloc("regacc", "a.rfe2", 1)
+	r.aTT = s.Alloc("regacc", "a.ctrl.tt", 8)
+	r.aWY = s.Alloc("regacc", "a.ctrl.wy", 1)
+	// execute
+	r.eInst = s.Alloc("execute", "e.ctrl.inst", 32)
+	r.ePC = s.Alloc("execute", "e.ctrl.pc", 32)
+	r.eValid = s.Alloc("execute", "e.ctrl.valid", 1)
+	r.eOp1 = s.Alloc("execute", "e.op1", 32)
+	r.eOp2 = s.Alloc("execute", "e.op2", 32)
+	r.eY = s.Alloc("execute", "e.y", 32)
+	r.eTT = s.Alloc("execute", "e.ctrl.tt", 8)
+	r.eCWP = s.Alloc("execute", "e.cwp", 3)
+	r.eET = s.Alloc("execute", "e.et", 1)
+	r.eMAC = s.Alloc("execute", "e.mac", 1)
+	r.eMul = s.Alloc("execute", "e.mul", 1)
+	r.eMulstep = s.Alloc("execute", "e.mulstep", 6)
+	r.eSU = s.Alloc("execute", "e.su", 1)
+	r.eYMSB = s.Alloc("execute", "e.ymsb", 1)
+	// memory
+	r.mInst = s.Alloc("memory", "m.ctrl.inst", 32)
+	r.mPC = s.Alloc("memory", "m.ctrl.pc", 32)
+	r.mValid = s.Alloc("memory", "m.ctrl.valid", 1)
+	r.mResult = s.Alloc("memory", "m.result", 32)
+	r.mStoreVal = s.Alloc("memory", "m.storeval", 32)
+	r.mTrap = s.Alloc("memory", "m.trap", 1)
+	r.mTT = s.Alloc("memory", "m.ctrl.tt", 8)
+	r.mY = s.Alloc("memory", "m.y", 32)
+	r.mICC = s.Alloc("memory", "m.icc", 4)
+	r.mWICC = s.Alloc("memory", "m.ctrl.wicc", 1)
+	r.mWY = s.Alloc("memory", "m.ctrl.wy", 1)
+	r.mDciASI = s.Alloc("memory", "m.dci.asi", 8)
+	r.mDciLock = s.Alloc("memory", "m.dci.lock", 1)
+	r.mDciSign = s.Alloc("memory", "m.dci.signed", 1)
+	r.mIrqen = s.Alloc("memory", "m.irqen", 1)
+	r.mIrqen2 = s.Alloc("memory", "m.irqen2", 1)
+	// exception
+	r.xInst = s.Alloc("exception", "x.ctrl.inst", 32)
+	r.xPC = s.Alloc("exception", "x.ctrl.pc", 32)
+	r.xValid = s.Alloc("exception", "x.ctrl.valid", 1)
+	r.xResult = s.Alloc("exception", "x.result", 32)
+	r.xTrap = s.Alloc("exception", "x.trap", 1)
+	r.xTT = s.Alloc("exception", "x.ctrl.tt", 8)
+	r.xY = s.Alloc("exception", "x.y", 32)
+	r.xICC = s.Alloc("exception", "x.icc", 4)
+	r.xNPC = s.Alloc("exception", "x.npc", 32)
+	r.xAddr = s.Alloc("exception", "x.addr", 32)
+	r.xStoreVal = s.Alloc("exception", "x.storeval", 32)
+	r.xWICC = s.Alloc("exception", "x.ctrl.wicc", 1)
+	r.xWY = s.Alloc("exception", "x.ctrl.wy", 1)
+	r.xRETT = s.Alloc("exception", "x.ctrl.rett", 1)
+	r.xPV = s.Alloc("exception", "x.ctrl.pv", 1)
+	r.xDebug = s.Alloc("exception", "x.debug", 32)
+	r.xIntack = s.Alloc("exception", "x.intack", 1)
+	r.xIpend = s.Alloc("exception", "x.ipend", 4)
+	r.xAnnul = s.Alloc("exception", "x.annul", 1)
+	// writeback + status
+	r.wInst = s.Alloc("write", "w.ctrl.inst", 32)
+	r.wPC = s.Alloc("write", "w.ctrl.pc", 32)
+	r.wValid = s.Alloc("write", "w.ctrl.valid", 1)
+	r.wResult = s.Alloc("write", "w.result", 32)
+	r.wTrap = s.Alloc("write", "w.trap", 1)
+	r.wTT = s.Alloc("write", "w.ctrl.tt", 8)
+	r.wAddr = s.Alloc("write", "w.addr", 32)
+	r.wStoreVal = s.Alloc("write", "w.storeval", 32)
+	r.wSICC = s.Alloc("write", "w.s.icc", 4)
+	r.wSY = s.Alloc("write", "w.s.y", 32)
+	r.wSTT = s.Alloc("write", "w.s.tt", 8)
+	r.wSTBA = s.Alloc("write", "w.s.tba", 20)
+	r.wSWIM = s.Alloc("write", "w.s.wim", 8)
+	r.wSPIL = s.Alloc("write", "w.s.pil", 4)
+	r.wSEC = s.Alloc("write", "w.s.ec", 1)
+	r.wSEF = s.Alloc("write", "w.s.ef", 1)
+	r.wSPS = s.Alloc("write", "w.s.ps", 1)
+	r.wSET = s.Alloc("write", "w.s.et", 1)
+	r.wSCWP = s.Alloc("write", "w.s.cwp", 3)
+	r.wSDWT = s.Alloc("write", "w.s.dwt", 1)
+	// cache control
+	r.icCfg = s.Alloc("icache", "ic.cfg", 16)
+	r.dcCfg = s.Alloc("dcache", "dc.cfg", 16)
+}
+
+// shared space: built once, reused by every core instance.
+var sharedSpace = NewSpace()
+var sharedRegs = func() regs {
+	s := ff.NewSpace()
+	var r regs
+	allocInto(s, &r)
+	return r
+}()
+
+// Space returns the core's flip-flop space (shared across instances).
+func Space() *ff.Space { return sharedSpace }
+
+// New returns a core reset to run p.
+func New(p *prog.Program) *Core {
+	c := &Core{space: sharedSpace, r: sharedRegs}
+	c.st = c.space.NewState()
+	c.Reset(p)
+	return c
+}
+
+// Reset rebinds the core to p and clears all state.
+func (c *Core) Reset(p *prog.Program) {
+	c.program = p
+	c.st.Reset()
+	c.regfile = [32]uint32{}
+	if cap(c.mem) >= p.MemWords {
+		c.mem = c.mem[:p.MemWords]
+		for i := range c.mem {
+			c.mem[i] = 0
+		}
+	} else {
+		c.mem = make([]uint32, p.MemWords)
+	}
+	copy(c.mem, p.Data)
+	c.out = c.out[:0]
+	c.cycles = 0
+	c.retired = 0
+	c.done = false
+	c.status = prog.StatusHalted
+	c.recoveryNext = 0
+	c.nextAtM = 0
+}
+
+// State exposes the flip-flop state for fault injection.
+func (c *Core) State() *ff.State { return c.st }
+
+// SpaceOf returns the core's flip-flop space.
+func (c *Core) SpaceOf() *ff.Space { return c.space }
+
+// SetCommitHook installs an architecture-level commit observer.
+func (c *Core) SetCommitHook(h sim.CommitHook) { c.hook = h }
+
+// Done reports whether the program has finished.
+func (c *Core) Done() bool { return c.done }
+
+// Cycles returns the number of cycles simulated so far.
+func (c *Core) Cycles() int { return c.cycles }
+
+// Retired returns the number of committed instructions.
+func (c *Core) Retired() int64 { return c.retired }
+
+// Output returns the output stream emitted so far.
+func (c *Core) Output() []uint32 { return c.out }
+
+// Result summarizes a finished run. Valid once Done is true (or after a
+// cycle-budget cutoff, in which case callers treat it as a hang).
+func (c *Core) Result() prog.Result {
+	return prog.Result{Status: c.status, Output: c.out, Steps: c.cycles}
+}
+
+// Run steps the core until completion or until the cycle budget is
+// exhausted; in the latter case the status is StatusMaxSteps (hang).
+func (c *Core) Run(maxCycles int) prog.Result {
+	for !c.done && c.cycles < maxCycles {
+		c.Step()
+	}
+	if !c.done {
+		return prog.Result{Status: prog.StatusMaxSteps, Output: c.out, Steps: c.cycles}
+	}
+	return c.Result()
+}
+
+// needsRs reports which source registers an instruction format reads.
+func needsRs(op isa.Op) (rs1, rs2 bool) {
+	switch op.Fmt() {
+	case isa.FmtR, isa.FmtStore, isa.FmtBranch:
+		return true, true
+	case isa.FmtI, isa.FmtLoad, isa.FmtJALR, isa.FmtOut:
+		return true, false
+	}
+	return false, false
+}
+
+// Step advances the pipeline by one clock cycle.
+func (c *Core) Step() {
+	if c.done {
+		return
+	}
+	c.cycles++
+	st := c.st
+	r := &c.r
+
+	// ---- Snapshot current latches (the "clock edge" read). ----
+	fPC := uint32(r.fPC.Get(st))
+
+	dInst := uint32(r.dInst.Get(st))
+	dPC := uint32(r.dPC.Get(st))
+	dValid := r.dValid.Get(st) == 1
+
+	aInstW := uint32(r.aInst.Get(st))
+	aPC := uint32(r.aPC.Get(st))
+	aValid := r.aValid.Get(st) == 1
+	aRs1 := uint8(r.aRs1.Get(st))
+	aRs2 := uint8(r.aRs2.Get(st))
+
+	eInstW := uint32(r.eInst.Get(st))
+	ePC := uint32(r.ePC.Get(st))
+	eValid := r.eValid.Get(st) == 1
+	eOp1 := uint32(r.eOp1.Get(st))
+	eOp2 := uint32(r.eOp2.Get(st))
+
+	mInstW := uint32(r.mInst.Get(st))
+	mPC := uint32(r.mPC.Get(st))
+	mValid := r.mValid.Get(st) == 1
+	mResult := uint32(r.mResult.Get(st))
+	mStoreVal := uint32(r.mStoreVal.Get(st))
+	mTrap := r.mTrap.Get(st) == 1
+	mICC := r.mICC.Get(st)
+	mY := uint32(r.mY.Get(st))
+
+	xInstW := uint32(r.xInst.Get(st))
+	xPC := uint32(r.xPC.Get(st))
+	xValid := r.xValid.Get(st) == 1
+	xResult := uint32(r.xResult.Get(st))
+	xTrap := r.xTrap.Get(st) == 1
+	xTT := r.xTT.Get(st)
+	xICC := r.xICC.Get(st)
+	xAddr := uint32(r.xAddr.Get(st))
+	xStoreVal := uint32(r.xStoreVal.Get(st))
+
+	wInstW := uint32(r.wInst.Get(st))
+	wPC := uint32(r.wPC.Get(st))
+	wValid := r.wValid.Get(st) == 1
+	wResult := uint32(r.wResult.Get(st))
+	wTrap := r.wTrap.Get(st) == 1
+	wAddr := uint32(r.wAddr.Get(st))
+	wStoreVal := uint32(r.wStoreVal.Get(st))
+
+	eInst := isa.Decode(eInstW)
+	mInst := isa.Decode(mInstW)
+	xInst := isa.Decode(xInstW)
+	wInst := isa.Decode(wInstW)
+	aInst := isa.Decode(aInstW)
+
+	// ---- W: writeback / commit. ----
+	if wValid {
+		c.retired++
+		if wTrap || !wInst.Op.Valid() {
+			c.done = true
+			c.status = prog.StatusTrap
+			r.wSTT.Set(st, r.wTT.Get(st)) // trap type to status reg
+			return
+		}
+		switch wInst.Op {
+		case isa.HALT:
+			c.done = true
+			c.status = prog.StatusHalted
+			return
+		case isa.TRAPD:
+			c.done = true
+			c.status = prog.StatusDetected
+			return
+		case isa.OUT:
+			c.out = append(c.out, wResult)
+		default:
+			if wInst.Op.WritesReg() && wInst.Rd != 0 {
+				c.regfile[wInst.Rd] = wResult
+			}
+		}
+		// Status-register side effects (condition codes, Y): architectural
+		// state that these workloads never read back.
+		r.wSICC.Set(st, xICC)
+		if wInst.Op == isa.MULH {
+			r.wSY.Set(st, uint64(wResult))
+		}
+		if c.hook != nil {
+			ev := sim.CommitEvent{PC: wPC, Word: wInstW, Result: wResult,
+				StoreVal: wStoreVal, Addr: wAddr}
+			if c.hook(ev) {
+				c.done = true
+				c.status = prog.StatusDetected
+				return
+			}
+		}
+	}
+
+	// ---- X: exception stage (pass-through, trap priority resolution). ----
+	r.wInst.Set(st, uint64(xInstW))
+	r.wPC.Set(st, uint64(xPC))
+	r.wValid.Set(st, b2u(xValid))
+	r.wResult.Set(st, uint64(xResult))
+	r.wTrap.Set(st, b2u(xTrap))
+	r.wTT.Set(st, xTT)
+	r.wAddr.Set(st, uint64(xAddr))
+	r.wStoreVal.Set(st, uint64(xStoreVal))
+	r.wSCWP.Set(st, r.eCWP.Get(st)) // window pointer shadow (unused)
+
+	// ---- M: memory access. ----
+	{
+		if mValid {
+			// the instruction in M completes its access this cycle: it is
+			// now beyond the flush-recovery window
+			c.recoveryNext = c.nextAtM
+		}
+		trap := mTrap
+		tt := r.mTT.Get(st)
+		result := mResult
+		addr := mResult
+		if mValid && !trap && mInst.Op.Valid() {
+			switch mInst.Op {
+			case isa.LW:
+				if int(int32(addr)) < 0 || int(int32(addr)) >= len(c.mem) {
+					trap = true
+					tt = 9 // data access exception
+				} else {
+					result = c.mem[int32(addr)]
+				}
+			case isa.SW:
+				if int(int32(addr)) < 0 || int(int32(addr)) >= len(c.mem) {
+					trap = true
+					tt = 9
+				} else {
+					c.mem[int32(addr)] = mStoreVal
+				}
+			}
+		}
+		r.xInst.Set(st, uint64(mInstW))
+		r.xPC.Set(st, uint64(mPC))
+		r.xValid.Set(st, b2u(mValid))
+		r.xResult.Set(st, uint64(result))
+		r.xTrap.Set(st, b2u(trap))
+		r.xTT.Set(st, tt)
+		r.xICC.Set(st, mICC)
+		r.xY.Set(st, uint64(mY))
+		r.xAddr.Set(st, uint64(addr))
+		r.xStoreVal.Set(st, uint64(mStoreVal))
+		r.xNPC.Set(st, uint64(mPC+1))
+	}
+
+	// ---- E: execute, branch resolution, forwarding. ----
+	redirect := false
+	var redirectPC uint32
+	var stall bool
+
+	// forward returns the freshest in-flight value of register idx, falling
+	// back to the register file. Bypass sources are the E/M, M/X and X/W
+	// latches — exactly the wires a hardware bypass network taps.
+	forward := func(idx uint8, raw uint32) uint32 {
+		if idx == 0 {
+			return 0
+		}
+		if mValid && mInst.Op.Valid() && mInst.Op.WritesReg() && mInst.Rd == idx {
+			return mResult
+		}
+		if xValid && xInst.Op.Valid() && xInst.Op.WritesReg() && xInst.Rd == idx {
+			return xResult
+		}
+		if wValid && wInst.Op.Valid() && wInst.Op.WritesReg() && wInst.Rd == idx {
+			return wResult
+		}
+		return raw
+	}
+
+	{
+		trap := false
+		var tt uint64
+		var result, storeVal uint32
+		var y uint32
+		icc := uint64(0)
+		if eValid {
+			if !eInst.Op.Valid() {
+				trap = true
+				tt = 2 // illegal instruction
+			} else {
+				op1 := forward(eInst.Rs1, eOp1)
+				op2raw := eOp2
+				var op2 uint32
+				switch eInst.Op.Fmt() {
+				case isa.FmtR, isa.FmtStore, isa.FmtBranch:
+					op2 = forward(eInst.Rs2, op2raw)
+				default:
+					op2 = op2raw
+				}
+				result, storeVal, y, trap, tt = execALU(eInst, op1, op2, ePC)
+				if !trap && eInst.Op.IsControl() {
+					taken, target := resolveBranch(eInst, op1, op2, ePC)
+					if taken {
+						redirect = true
+						redirectPC = target
+					}
+				}
+				if !trap {
+					// stage the refetch point for when this instruction
+					// finishes its memory access
+					if redirect {
+						c.nextAtM = redirectPC
+					} else {
+						c.nextAtM = ePC + 1
+					}
+				}
+				// condition codes (unread by these workloads)
+				if result == 0 {
+					icc |= 4 // Z
+				}
+				if int32(result) < 0 {
+					icc |= 8 // N
+				}
+			}
+		}
+		r.mInst.Set(st, uint64(eInstW))
+		r.mPC.Set(st, uint64(ePC))
+		r.mValid.Set(st, b2u(eValid))
+		r.mResult.Set(st, uint64(result))
+		r.mStoreVal.Set(st, uint64(storeVal))
+		r.mTrap.Set(st, b2u(trap))
+		r.mTT.Set(st, tt)
+		r.mY.Set(st, uint64(y))
+		r.mICC.Set(st, icc)
+	}
+
+	// ---- A: register access + load-use interlock. ----
+	// Stall when the instruction entering execute needs a register that the
+	// load currently in execute will only produce at the end of memory.
+	if aValid && eValid && eInst.Op == isa.LW && eInst.Rd != 0 {
+		n1, n2 := needsRs(aInst.Op)
+		if (n1 && aInst.Rs1 == eInst.Rd) || (n2 && aInst.Rs2 == eInst.Rd) {
+			stall = true
+		}
+	}
+
+	if redirect || !stall {
+		valid := aValid && !redirect
+		r.eInst.Set(st, uint64(aInstW))
+		r.ePC.Set(st, uint64(aPC))
+		r.eValid.Set(st, b2u(valid))
+		r.eOp1.Set(st, uint64(c.regfile[aRs1]))
+		r.eOp2.Set(st, uint64(c.regfile[aRs2]))
+		r.eY.Set(st, r.mY.Get(st))
+		r.eCWP.Set(st, r.aCWP.Get(st))
+	} else {
+		// Bubble into execute; hold younger stages.
+		r.eValid.Set(st, 0)
+	}
+
+	// ---- D: decode. ----
+	if redirect {
+		r.aValid.Set(st, 0)
+	} else if !stall {
+		in := isa.Decode(dInst)
+		r.aInst.Set(st, uint64(dInst))
+		r.aPC.Set(st, uint64(dPC))
+		r.aValid.Set(st, b2u(dValid))
+		r.aRs1.Set(st, uint64(in.Rs1))
+		r.aRs2.Set(st, uint64(in.Rs2))
+	}
+
+	// ---- F: fetch. ----
+	if redirect {
+		r.dValid.Set(st, 0)
+		r.fPC.Set(st, uint64(redirectPC))
+	} else if !stall {
+		var word uint32 = illegalWord
+		if int(fPC) < len(c.program.Words) {
+			word = c.program.Words[fPC]
+		}
+		r.dInst.Set(st, uint64(word))
+		r.dPC.Set(st, uint64(fPC))
+		r.dValid.Set(st, 1)
+		r.fPC.Set(st, uint64(fPC+1))
+	}
+}
+
+// FlushRecover models micro-architectural flush recovery (paper Fig 5):
+// squash every instruction that has not completed its memory access (fetch
+// through the memory-stage input latch) and refetch from the recovery
+// control's shadow PC. Instructions in the exception/writeback stages
+// continue — errors detected after the memory write stage have escaped the
+// flushable window, which is exactly why Heuristic 1 hardens those
+// flip-flops with LEAP-DICE instead.
+//
+// Calling this immediately after a detected flip discards the corrupted
+// pre-commit state; the pipeline-refill penalty (about the Table 15 flush
+// latency) is paid in simulated cycles.
+func (c *Core) FlushRecover() {
+	st := c.st
+	r := &c.r
+	r.dValid.Set(st, 0)
+	r.aValid.Set(st, 0)
+	r.eValid.Set(st, 0)
+	r.mValid.Set(st, 0)
+	r.mTrap.Set(st, 0)
+	r.fPC.Set(st, uint64(c.recoveryNext))
+}
+
+// execALU computes the execute-stage result for in. It returns the ALU
+// result, the store value, the Y byproduct, and trap information.
+func execALU(in isa.Inst, op1, op2, pc uint32) (result, storeVal, y uint32, trap bool, tt uint64) {
+	switch in.Op {
+	case isa.ADD:
+		result = op1 + op2
+	case isa.SUB:
+		result = op1 - op2
+	case isa.AND:
+		result = op1 & op2
+	case isa.OR:
+		result = op1 | op2
+	case isa.XOR:
+		result = op1 ^ op2
+	case isa.SLL:
+		result = op1 << (op2 & 31)
+	case isa.SRL:
+		result = op1 >> (op2 & 31)
+	case isa.SRA:
+		result = uint32(int32(op1) >> (op2 & 31))
+	case isa.SLT:
+		result = b2u32(int32(op1) < int32(op2))
+	case isa.SLTU:
+		result = b2u32(op1 < op2)
+	case isa.MUL:
+		p := int64(int32(op1)) * int64(int32(op2))
+		result = uint32(p)
+		y = uint32(uint64(p) >> 32)
+	case isa.MULH:
+		p := int64(int32(op1)) * int64(int32(op2))
+		result = uint32(uint64(p) >> 32)
+		y = result
+	case isa.DIV:
+		if op2 == 0 {
+			return 0, 0, 0, true, 10
+		}
+		result = uint32(int32(op1) / int32(op2))
+	case isa.REM:
+		if op2 == 0 {
+			return 0, 0, 0, true, 10
+		}
+		result = uint32(int32(op1) % int32(op2))
+	case isa.ADDI:
+		result = op1 + uint32(in.Imm)
+	case isa.ANDI:
+		result = op1 & uint32(in.Imm)
+	case isa.ORI:
+		result = op1 | uint32(in.Imm)
+	case isa.XORI:
+		result = op1 ^ uint32(in.Imm)
+	case isa.SLLI:
+		result = op1 << (uint32(in.Imm) & 31)
+	case isa.SRLI:
+		result = op1 >> (uint32(in.Imm) & 31)
+	case isa.SRAI:
+		result = uint32(int32(op1) >> (uint32(in.Imm) & 31))
+	case isa.SLTI:
+		result = b2u32(int32(op1) < in.Imm)
+	case isa.LUI:
+		result = uint32(in.Imm) << 16
+	case isa.LW:
+		result = uint32(int32(op1) + in.Imm) // effective address
+	case isa.SW:
+		result = uint32(int32(op1) + in.Imm)
+		storeVal = op2
+	case isa.JAL, isa.JALR:
+		result = pc + 1
+	case isa.OUT:
+		result = op1
+	}
+	return result, storeVal, y, trap, tt
+}
+
+// resolveBranch decides taken/target for control instructions at execute.
+func resolveBranch(in isa.Inst, op1, op2, pc uint32) (taken bool, target uint32) {
+	switch in.Op {
+	case isa.BEQ:
+		taken = op1 == op2
+	case isa.BNE:
+		taken = op1 != op2
+	case isa.BLT:
+		taken = int32(op1) < int32(op2)
+	case isa.BGE:
+		taken = int32(op1) >= int32(op2)
+	case isa.BLTU:
+		taken = op1 < op2
+	case isa.BGEU:
+		taken = op1 >= op2
+	case isa.JAL:
+		return true, pc + uint32(in.Imm)
+	case isa.JALR:
+		return true, uint32(int32(op1) + in.Imm)
+	}
+	return taken, pc + uint32(in.Imm)
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func b2u32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,266 @@
+package isa
+
+import "fmt"
+
+// Item is one instruction in a symbolic (pre-assembly) program. Labels are
+// bound to the instruction they precede; Target, when non-empty, names the
+// label a branch or jump resolves to at assembly time. Software resilience
+// transforms (EDDI, CFCSS, assertions) rewrite []Item streams and reassemble,
+// so control-flow offsets stay correct as instructions are inserted.
+type Item struct {
+	Labels []string
+	Inst   Inst
+	Target string
+}
+
+// Builder constructs symbolic CRV32 programs. The zero value is not usable;
+// call NewBuilder.
+type Builder struct {
+	items   []Item
+	pending []string // labels waiting for the next instruction
+}
+
+// NewBuilder returns an empty program builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Items returns the symbolic program built so far. Pending labels (a Label
+// call with no following instruction) are bound to an appended NOP.
+func (b *Builder) Items() []Item {
+	b.flushPending()
+	return b.items
+}
+
+func (b *Builder) flushPending() {
+	if len(b.pending) > 0 {
+		b.emit(Inst{Op: NOP}, "")
+	}
+}
+
+// Label binds a label to the next emitted instruction.
+func (b *Builder) Label(name string) {
+	b.pending = append(b.pending, name)
+}
+
+func (b *Builder) emit(in Inst, target string) {
+	b.items = append(b.items, Item{Labels: b.pending, Inst: in, Target: target})
+	b.pending = nil
+}
+
+// Raw appends an already-formed instruction with no symbolic target.
+func (b *Builder) Raw(in Inst) { b.emit(in, "") }
+
+// --- no-operand and unary forms ---
+
+// Nop emits a no-op.
+func (b *Builder) Nop() { b.emit(Inst{Op: NOP}, "") }
+
+// Halt emits a normal program termination.
+func (b *Builder) Halt() { b.emit(Inst{Op: HALT}, "") }
+
+// Trapd emits the software-error-detected trap.
+func (b *Builder) Trapd() { b.emit(Inst{Op: TRAPD}, "") }
+
+// Out emits R[rs] to the program output stream.
+func (b *Builder) Out(rs uint8) { b.emit(Inst{Op: OUT, Rs1: rs}, "") }
+
+// --- R-type ---
+
+// R emits an R-type instruction rd = rs1 op rs2.
+func (b *Builder) R(op Op, rd, rs1, rs2 uint8) {
+	b.emit(Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}, "")
+}
+
+// Add emits rd = rs1 + rs2.
+func (b *Builder) Add(rd, rs1, rs2 uint8) { b.R(ADD, rd, rs1, rs2) }
+
+// Sub emits rd = rs1 - rs2.
+func (b *Builder) Sub(rd, rs1, rs2 uint8) { b.R(SUB, rd, rs1, rs2) }
+
+// And emits rd = rs1 & rs2.
+func (b *Builder) And(rd, rs1, rs2 uint8) { b.R(AND, rd, rs1, rs2) }
+
+// Or emits rd = rs1 | rs2.
+func (b *Builder) Or(rd, rs1, rs2 uint8) { b.R(OR, rd, rs1, rs2) }
+
+// Xor emits rd = rs1 ^ rs2.
+func (b *Builder) Xor(rd, rs1, rs2 uint8) { b.R(XOR, rd, rs1, rs2) }
+
+// Sll emits rd = rs1 << (rs2 & 31).
+func (b *Builder) Sll(rd, rs1, rs2 uint8) { b.R(SLL, rd, rs1, rs2) }
+
+// Srl emits rd = rs1 >> (rs2 & 31) (logical).
+func (b *Builder) Srl(rd, rs1, rs2 uint8) { b.R(SRL, rd, rs1, rs2) }
+
+// Sra emits rd = rs1 >> (rs2 & 31) (arithmetic).
+func (b *Builder) Sra(rd, rs1, rs2 uint8) { b.R(SRA, rd, rs1, rs2) }
+
+// Slt emits rd = (rs1 < rs2) signed.
+func (b *Builder) Slt(rd, rs1, rs2 uint8) { b.R(SLT, rd, rs1, rs2) }
+
+// Sltu emits rd = (rs1 < rs2) unsigned.
+func (b *Builder) Sltu(rd, rs1, rs2 uint8) { b.R(SLTU, rd, rs1, rs2) }
+
+// Mul emits rd = low32(rs1 * rs2).
+func (b *Builder) Mul(rd, rs1, rs2 uint8) { b.R(MUL, rd, rs1, rs2) }
+
+// Mulh emits rd = high32(rs1 * rs2) (signed).
+func (b *Builder) Mulh(rd, rs1, rs2 uint8) { b.R(MULH, rd, rs1, rs2) }
+
+// Div emits rd = rs1 / rs2 (signed; divide by zero traps).
+func (b *Builder) Div(rd, rs1, rs2 uint8) { b.R(DIV, rd, rs1, rs2) }
+
+// Rem emits rd = rs1 % rs2 (signed; divide by zero traps).
+func (b *Builder) Rem(rd, rs1, rs2 uint8) { b.R(REM, rd, rs1, rs2) }
+
+// --- I-type ---
+
+// I emits an I-type instruction rd = rs1 op imm.
+func (b *Builder) I(op Op, rd, rs1 uint8, imm int32) {
+	b.emit(Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm}, "")
+}
+
+// Addi emits rd = rs1 + imm.
+func (b *Builder) Addi(rd, rs1 uint8, imm int32) { b.I(ADDI, rd, rs1, imm) }
+
+// Andi emits rd = rs1 & uimm16.
+func (b *Builder) Andi(rd, rs1 uint8, imm int32) { b.I(ANDI, rd, rs1, imm) }
+
+// Ori emits rd = rs1 | uimm16.
+func (b *Builder) Ori(rd, rs1 uint8, imm int32) { b.I(ORI, rd, rs1, imm) }
+
+// Xori emits rd = rs1 ^ uimm16.
+func (b *Builder) Xori(rd, rs1 uint8, imm int32) { b.I(XORI, rd, rs1, imm) }
+
+// Slli emits rd = rs1 << (imm & 31).
+func (b *Builder) Slli(rd, rs1 uint8, imm int32) { b.I(SLLI, rd, rs1, imm) }
+
+// Srli emits rd = rs1 >> (imm & 31) (logical).
+func (b *Builder) Srli(rd, rs1 uint8, imm int32) { b.I(SRLI, rd, rs1, imm) }
+
+// Srai emits rd = rs1 >> (imm & 31) (arithmetic).
+func (b *Builder) Srai(rd, rs1 uint8, imm int32) { b.I(SRAI, rd, rs1, imm) }
+
+// Slti emits rd = (rs1 < imm) signed.
+func (b *Builder) Slti(rd, rs1 uint8, imm int32) { b.I(SLTI, rd, rs1, imm) }
+
+// Lui emits rd = imm << 16.
+func (b *Builder) Lui(rd uint8, imm int32) { b.emit(Inst{Op: LUI, Rd: rd, Imm: imm}, "") }
+
+// Li loads an arbitrary 32-bit constant, using one instruction when it fits
+// in a signed 16-bit immediate and LUI+ORI otherwise.
+func (b *Builder) Li(rd uint8, v int32) {
+	if v >= -32768 && v < 32768 {
+		b.Addi(rd, 0, v)
+		return
+	}
+	b.Lui(rd, int32(uint32(v)>>16))
+	if lo := int32(uint32(v) & 0xFFFF); lo != 0 {
+		b.Ori(rd, rd, lo)
+	}
+}
+
+// Mv emits rd = rs.
+func (b *Builder) Mv(rd, rs uint8) { b.Addi(rd, rs, 0) }
+
+// --- memory ---
+
+// Lw emits rd = mem[rs1+imm].
+func (b *Builder) Lw(rd, rs1 uint8, imm int32) {
+	b.emit(Inst{Op: LW, Rd: rd, Rs1: rs1, Imm: imm}, "")
+}
+
+// Sw emits mem[rs1+imm] = rs2.
+func (b *Builder) Sw(rs2, rs1 uint8, imm int32) {
+	b.emit(Inst{Op: SW, Rs1: rs1, Rs2: rs2, Imm: imm}, "")
+}
+
+// --- control flow ---
+
+// Br emits a conditional branch to a label.
+func (b *Builder) Br(op Op, rs1, rs2 uint8, target string) {
+	b.emit(Inst{Op: op, Rs1: rs1, Rs2: rs2}, target)
+}
+
+// Beq branches to target when rs1 == rs2.
+func (b *Builder) Beq(rs1, rs2 uint8, target string) { b.Br(BEQ, rs1, rs2, target) }
+
+// Bne branches to target when rs1 != rs2.
+func (b *Builder) Bne(rs1, rs2 uint8, target string) { b.Br(BNE, rs1, rs2, target) }
+
+// Blt branches to target when rs1 < rs2 (signed).
+func (b *Builder) Blt(rs1, rs2 uint8, target string) { b.Br(BLT, rs1, rs2, target) }
+
+// Bge branches to target when rs1 >= rs2 (signed).
+func (b *Builder) Bge(rs1, rs2 uint8, target string) { b.Br(BGE, rs1, rs2, target) }
+
+// Bltu branches to target when rs1 < rs2 (unsigned).
+func (b *Builder) Bltu(rs1, rs2 uint8, target string) { b.Br(BLTU, rs1, rs2, target) }
+
+// Bgeu branches to target when rs1 >= rs2 (unsigned).
+func (b *Builder) Bgeu(rs1, rs2 uint8, target string) { b.Br(BGEU, rs1, rs2, target) }
+
+// Jal emits a jump-and-link to a label.
+func (b *Builder) Jal(rd uint8, target string) {
+	b.emit(Inst{Op: JAL, Rd: rd}, target)
+}
+
+// Jmp emits an unconditional jump to a label (JAL r0).
+func (b *Builder) Jmp(target string) { b.Jal(0, target) }
+
+// Jalr emits an indirect jump rd = pc+1; pc = rs1+imm.
+func (b *Builder) Jalr(rd, rs1 uint8, imm int32) {
+	b.emit(Inst{Op: JALR, Rd: rd, Rs1: rs1, Imm: imm}, "")
+}
+
+// Ret emits a return through the link register.
+func (b *Builder) Ret(rs1 uint8) { b.Jalr(0, rs1, 0) }
+
+// Assemble resolves symbolic targets in items and returns the final
+// instruction sequence plus the label→pc map. It fails on duplicate or
+// undefined labels and on branch offsets that do not fit their immediate.
+func Assemble(items []Item) ([]Inst, map[string]int, error) {
+	labels := make(map[string]int)
+	for pc, it := range items {
+		for _, l := range it.Labels {
+			if _, dup := labels[l]; dup {
+				return nil, nil, fmt.Errorf("isa: duplicate label %q", l)
+			}
+			labels[l] = pc
+		}
+	}
+	out := make([]Inst, len(items))
+	for pc, it := range items {
+		in := it.Inst
+		if it.Target != "" {
+			t, ok := labels[it.Target]
+			if !ok {
+				return nil, nil, fmt.Errorf("isa: undefined label %q at pc %d", it.Target, pc)
+			}
+			off := int32(t - pc)
+			switch in.Op.Fmt() {
+			case FmtBranch:
+				if off < -32768 || off > 32767 {
+					return nil, nil, fmt.Errorf("isa: branch to %q out of range (%d)", it.Target, off)
+				}
+			case FmtJAL:
+				if off < -(1<<20) || off >= 1<<20 {
+					return nil, nil, fmt.Errorf("isa: jump to %q out of range (%d)", it.Target, off)
+				}
+			default:
+				return nil, nil, fmt.Errorf("isa: %s cannot take label target", in.Op)
+			}
+			in.Imm = off
+		}
+		out[pc] = in
+	}
+	return out, labels, nil
+}
+
+// EncodeAll encodes a resolved instruction sequence into binary words.
+func EncodeAll(insts []Inst) []uint32 {
+	words := make([]uint32, len(insts))
+	for i, in := range insts {
+		words[i] = Encode(in)
+	}
+	return words
+}

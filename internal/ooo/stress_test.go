@@ -1,0 +1,153 @@
+package ooo
+
+import (
+	"testing"
+
+	"clear/internal/isa"
+	"clear/internal/prog"
+)
+
+// Store-queue pressure: a burst of stores longer than SQSize must stall
+// dispatch but still retire correctly in order.
+func TestStoreBurst(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Li(1, 0)
+	for i := int32(0); i < 3*SQSize; i++ {
+		b.Addi(2, 0, i+100)
+		b.Sw(2, 1, i)
+	}
+	// read everything back
+	b.Li(9, 0)
+	b.Li(3, 0)
+	b.Li(4, 3*SQSize)
+	b.Label("rd")
+	b.Lw(5, 3, 0)
+	b.Add(9, 9, 5)
+	b.Addi(3, 3, 1)
+	b.Bne(3, 4, "rd")
+	b.Out(9)
+	b.Halt()
+	p, err := prog.New("burst", b.Items(), nil, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ComputeExpected(100000); err != nil {
+		t.Fatal(err)
+	}
+	res := New(p).Run(100000)
+	if res.Status != prog.StatusHalted || !p.OutputsEqual(res.Output) {
+		t.Fatalf("store burst: %v %v (want %v)", res.Status, res.Output, p.Expected)
+	}
+}
+
+// ROB wraparound: run far more instructions than RobSize with tight
+// dependencies; indices must wrap without state corruption.
+func TestRobWraparound(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Li(1, 0)
+	b.Li(2, int32(RobSize*7))
+	b.Li(3, 1)
+	b.Label("loop")
+	b.Add(3, 3, 3)
+	b.Srli(3, 3, 1) // keep r3 stable but data-dependent
+	b.Addi(3, 3, 1)
+	b.Addi(3, 3, -1)
+	b.Addi(1, 1, 1)
+	b.Bne(1, 2, "loop")
+	b.Out(3)
+	b.Halt()
+	p, _ := prog.New("wrap", b.Items(), nil, 16)
+	p.ComputeExpected(1_000_000)
+	res := New(p).Run(1_000_000)
+	if res.Status != prog.StatusHalted || !p.OutputsEqual(res.Output) {
+		t.Fatalf("wraparound: %v %v", res.Status, res.Output)
+	}
+}
+
+// Store-to-load forwarding across a mispredicted branch: squashed stores
+// must not forward to later loads.
+func TestSquashedStoreDoesNotForward(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Li(1, 5)
+	b.Li(2, 10)
+	b.Li(3, 0) // address
+	b.Li(4, 42)
+	b.Sw(4, 3, 0) // mem[0] = 42 (committed)
+	b.Li(5, 0)    // loop counter
+	b.Label("loop")
+	b.Blt(1, 2, "skip") // always taken
+	b.Li(6, 666)
+	b.Sw(6, 3, 0) // wrong path: must never land or forward
+	b.Label("skip")
+	b.Lw(7, 3, 0) // must see 42
+	b.Li(8, 42)
+	b.Beq(7, 8, "good")
+	b.Out(7) // leak the wrong value for diagnosis
+	b.Halt()
+	b.Label("good")
+	b.Addi(5, 5, 1)
+	b.Slti(9, 5, 25)
+	b.Bne(9, 0, "loop")
+	b.Li(10, 1)
+	b.Out(10)
+	b.Halt()
+	p, _ := prog.New("fwd", b.Items(), nil, 16)
+	p.ComputeExpected(100000)
+	res := New(p).Run(100000)
+	if res.Status != prog.StatusHalted || len(res.Output) != 1 || res.Output[0] != 1 {
+		t.Fatalf("squashed store forwarded: %v %v", res.Status, res.Output)
+	}
+}
+
+// Cache behavior: repeated access to the same line should run faster than
+// a stride that misses every access.
+func TestCacheLocalityAffectsCycles(t *testing.T) {
+	mk := func(stride int32) *prog.Program {
+		b := isa.NewBuilder()
+		b.Li(1, 0)
+		b.Li(2, 200)
+		b.Li(3, 0)
+		b.Li(9, 0)
+		b.Label("loop")
+		b.Lw(5, 3, 0)
+		b.Add(9, 9, 5)
+		b.Addi(3, 3, stride)
+		b.Andi(3, 3, 1023)
+		b.Addi(1, 1, 1)
+		b.Bne(1, 2, "loop")
+		b.Out(9)
+		b.Halt()
+		p, _ := prog.New("cache", b.Items(), nil, 1024)
+		p.ComputeExpected(1_000_000)
+		return p
+	}
+	hot := New(mk(0)).Run(1_000_000)
+	cold := New(mk(260)).Run(1_000_000) // a prime-ish stride thrashing lines
+	if hot.Status != prog.StatusHalted || cold.Status != prog.StatusHalted {
+		t.Fatal("cache runs failed")
+	}
+	if cold.Steps <= hot.Steps {
+		t.Fatalf("cache model inert: hot %d cycles vs cold %d", hot.Steps, cold.Steps)
+	}
+	t.Logf("hot-line loop %d cycles, thrashing loop %d cycles", hot.Steps, cold.Steps)
+}
+
+// Deep dependent multiply chain through the pipelined multiplier.
+func TestMulChain(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Li(1, 3)
+	b.Li(2, 7)
+	for i := 0; i < 12; i++ {
+		b.Mul(1, 1, 2)
+		b.Andi(1, 1, 0x3FFF)
+		b.Ori(1, 1, 1)
+	}
+	b.Out(1)
+	b.Halt()
+	p, _ := prog.New("mulchain", b.Items(), nil, 16)
+	p.ComputeExpected(100000)
+	res := New(p).Run(100000)
+	if res.Status != prog.StatusHalted || !p.OutputsEqual(res.Output) {
+		t.Fatalf("mul chain: %v %v want %v", res.Status, res.Output, p.Expected)
+	}
+}

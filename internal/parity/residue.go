@@ -1,0 +1,78 @@
+package parity
+
+// Residue codes (paper Sec 2.4, "Additional Techniques"): mod-3 residue
+// checking detects errors in arithmetic functional units (notably
+// multipliers, where parity prediction is impractical) by verifying
+// res3(a) op res3(b) == res3(result). The paper rules them out for general
+// flip-flop protection because the residue generators and the checking
+// adder tree cost more than a simple XOR tree per protected bit; this
+// model exists to let the framework quantify that claim (see the cost
+// comparison test and the power package's gate constants).
+
+// ResiduePlan is a residue-code implementation plan over operand/result
+// flip-flops of an arithmetic unit.
+type ResiduePlan struct {
+	// Bits is the protected flip-flop set (operand and result registers).
+	Bits []int
+	// Operands is the number of residue generators needed (one per
+	// operand/result bus).
+	Operands int
+}
+
+// NewResiduePlan covers the given flip-flops, assuming busWidth-bit buses.
+func NewResiduePlan(bits []int, busWidth int) ResiduePlan {
+	n := len(bits)
+	ops := (n + busWidth - 1) / busWidth
+	if ops < 1 && n > 0 {
+		ops = 1
+	}
+	return ResiduePlan{Bits: bits, Operands: ops}
+}
+
+// Mod-3 residue generator structure: a tree of 2-bit full adders over bit
+// pairs. Per protected bit this costs roughly one adder cell (~2 XOR
+// equivalents), against parity's ~2 XOR per bit shared across
+// predictor+checker — plus per-bus residue arithmetic and compare.
+const (
+	// residueGatesPerBit is the XOR-equivalent gate count per protected
+	// flip-flop in the residue generator tree.
+	residueGatesPerBit = 3
+	// residueGatesPerBus is the checking arithmetic (mod-3 adder,
+	// comparator) per operand/result bus.
+	residueGatesPerBus = 14
+	// residueFFsPerBus holds the staged residues.
+	residueFFsPerBus = 2
+)
+
+// GateCount returns the XOR-equivalent gates of the plan.
+func (r ResiduePlan) GateCount() int {
+	return len(r.Bits)*residueGatesPerBit + r.Operands*residueGatesPerBus
+}
+
+// ExtraFFs returns the residue staging flip-flops.
+func (r ResiduePlan) ExtraFFs() int { return r.Operands * residueFFsPerBus }
+
+// Mod3 computes a value's mod-3 residue as the checker hardware does:
+// folding 2-bit digits (4 ≡ 1 mod 3).
+func Mod3(v uint64) uint32 {
+	for v > 3 {
+		s := uint64(0)
+		for v > 0 {
+			s += v & 3
+			v >>= 2
+		}
+		v = s
+	}
+	if v == 3 {
+		return 0
+	}
+	return uint32(v)
+}
+
+// ResidueCheck verifies a multiplication through mod-3 residues: returns
+// true when the full product is consistent (res3(a)·res3(b) ≡ res3(p)).
+// Hardware checks the untruncated product — the multiplier array produces
+// both halves before the writeback mux truncates.
+func ResidueCheck(a, b uint32, p uint64) bool {
+	return Mod3(uint64(Mod3(uint64(a))*Mod3(uint64(b)))) == Mod3(p)
+}

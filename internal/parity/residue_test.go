@@ -1,0 +1,60 @@
+package parity
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMod3(t *testing.T) {
+	for v := uint64(0); v < 1000; v++ {
+		if uint64(Mod3(v)) != v%3 {
+			t.Fatalf("Mod3(%d) = %d, want %d", v, Mod3(v), v%3)
+		}
+	}
+	if uint64(Mod3(0xFFFFFFFFFFFFFFFF)) != 0xFFFFFFFFFFFFFFFF%3 {
+		t.Fatal("Mod3 max")
+	}
+}
+
+// Property: residue checking accepts every correct product and rejects
+// every single-bit-corrupted product (2^k mod 3 is never 0, so all
+// single-bit flips change the residue).
+func TestResidueCheckProperty(t *testing.T) {
+	prop := func(a, b uint32, bit uint8) bool {
+		p := uint64(a) * uint64(b)
+		if !ResidueCheck(a, b, p) {
+			return false
+		}
+		corrupted := p ^ (1 << (bit % 64))
+		return !ResidueCheck(a, b, corrupted)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The paper's claim: residue codes cost more than XOR-tree parity for
+// protecting the same flip-flops.
+func TestResidueCostlierThanParity(t *testing.T) {
+	bits := make([]int, 96) // a multiplier's two operand + result registers
+	for i := range bits {
+		bits[i] = i
+	}
+	rp := NewResiduePlan(bits, 32)
+	// a 32-bit parity grouping over the same bits
+	var g Grouping
+	for lo := 0; lo < len(bits); lo += 32 {
+		g.Groups = append(g.Groups, bits[lo:lo+32])
+		g.Pipelined = append(g.Pipelined, false)
+	}
+	parityGates := g.NumXORs() + g.ConstGates()
+	if rp.GateCount() <= parityGates {
+		t.Fatalf("residue (%d gates) should cost more than parity (%d gates)",
+			rp.GateCount(), parityGates)
+	}
+	if rp.ExtraFFs() <= 0 {
+		t.Fatal("residue staging FFs missing")
+	}
+	t.Logf("residue %d gates vs parity %d gates for 96 FFs (paper Sec 2.4: residue costlier)",
+		rp.GateCount(), parityGates)
+}

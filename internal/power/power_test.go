@@ -1,0 +1,140 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"clear/internal/circuitlib"
+	"clear/internal/ino"
+	"clear/internal/layout"
+	"clear/internal/ooo"
+	"clear/internal/parity"
+)
+
+func near(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Errorf("%s = %.3f, want ~%.3f (tol %.3f)", name, got, want, tol)
+	} else {
+		t.Logf("%s = %.3f (paper ~%.3f)", name, got, want)
+	}
+}
+
+// Protect-everything corner cases must land near the paper's Table 17 "max"
+// column (the model's calibration anchors).
+func TestHardenAllWithDICE(t *testing.T) {
+	mi := InO()
+	c := mi.HardenFFs(map[circuitlib.FFType]int{circuitlib.LEAPDICE: mi.NumFFs})
+	near(t, "InO DICE-max area", c.Area, 0.093, 0.02)
+	near(t, "InO DICE-max energy", c.Energy(), 0.224, 0.04)
+
+	mo := OoO()
+	c = mo.HardenFFs(map[circuitlib.FFType]int{circuitlib.LEAPDICE: mo.NumFFs})
+	near(t, "OoO DICE-max area", c.Area, 0.065, 0.02)
+	near(t, "OoO DICE-max energy", c.Energy(), 0.094, 0.02)
+}
+
+func TestParityAllOptimized(t *testing.T) {
+	space := ino.Space()
+	pl := layout.Place(space, layout.InOProfile())
+	bits := make([]int, space.NumBits())
+	for i := range bits {
+		bits[i] = i
+	}
+	g := parity.Group(parity.OptimizedH, 16, space, pl, nil, bits)
+	c := InO().ParityCost(g, pl)
+	near(t, "InO parity-max area", c.Area, 0.109, 0.05)
+	near(t, "InO parity-max energy", c.Energy(), 0.231, 0.08)
+}
+
+func TestParityHeuristicOrdering(t *testing.T) {
+	// Table 7: optimized must beat vulnerability-4 substantially; small
+	// vulnerability groups are the most expensive configuration.
+	space := ino.Space()
+	pl := layout.Place(space, layout.InOProfile())
+	n := space.NumBits()
+	bits := make([]int, n)
+	vuln := make([]float64, n)
+	for i := range bits {
+		bits[i] = i
+		vuln[i] = float64((i*2654435761)%1000) / 1000
+	}
+	m := InO()
+	cost := func(h parity.Heuristic, size int) Cost {
+		g := parity.Group(h, size, space, pl, vuln, bits)
+		if h != parity.OptimizedH {
+			g = g.ForcePipelined() // Table 7 compares pipelined variants
+		}
+		return m.ParityCost(g, pl)
+	}
+	v4 := cost(parity.VulnerabilityH, 4)
+	v16 := cost(parity.VulnerabilityH, 16)
+	loc16 := cost(parity.LocalityH, 16)
+	opt := cost(parity.OptimizedH, 16)
+	t.Logf("vuln4 %.3f vuln16 %.3f loc16 %.3f opt %.3f (energy)",
+		v4.Energy(), v16.Energy(), loc16.Energy(), opt.Energy())
+	if !(v4.Energy() > v16.Energy()) {
+		t.Error("4-bit vulnerability groups should cost more than 16-bit")
+	}
+	if !(loc16.Energy() <= v16.Energy()) {
+		t.Error("locality should not cost more than vulnerability grouping")
+	}
+	if !(opt.Energy() <= loc16.Energy()+0.001) {
+		t.Error("optimized heuristic should be the cheapest")
+	}
+}
+
+func TestEDSCorner(t *testing.T) {
+	space := ino.Space()
+	pl := layout.Place(space, layout.InOProfile())
+	bits := make([]int, space.NumBits())
+	for i := range bits {
+		bits[i] = i
+	}
+	c := InO().EDSCost(bits, pl)
+	near(t, "InO EDS-max area", c.Area, 0.107, 0.05)
+	near(t, "InO EDS-max energy", c.Energy(), 0.229, 0.08)
+
+	// EDS on the OoO core
+	spaceO := ooo.Space()
+	plO := layout.Place(spaceO, layout.OoOProfile())
+	bitsO := make([]int, spaceO.NumBits())
+	for i := range bitsO {
+		bitsO[i] = i
+	}
+	c = OoO().EDSCost(bitsO, plO)
+	near(t, "OoO EDS-max area", c.Area, 0.122, 0.06)
+	near(t, "OoO EDS-max energy", c.Energy(), 0.115, 0.06)
+}
+
+func TestCostComposition(t *testing.T) {
+	a := Cost{Area: 0.10, Power: 0.20, ExecTime: 0.10}
+	b := Cost{Area: 0.05, Power: 0.10, ExecTime: 0.20}
+	c := a.Plus(b)
+	if math.Abs(c.Area-0.15) > 1e-9 || math.Abs(c.Power-0.30) > 1e-9 {
+		t.Fatalf("Plus area/power wrong: %+v", c)
+	}
+	wantExec := 1.1*1.2 - 1
+	if math.Abs(c.ExecTime-wantExec) > 1e-9 {
+		t.Fatalf("Plus exec wrong: %f want %f", c.ExecTime, wantExec)
+	}
+	wantEnergy := (1+0.3)*(1+wantExec) - 1
+	if math.Abs(c.Energy()-wantEnergy) > 1e-9 {
+		t.Fatalf("Energy wrong")
+	}
+	var zero Cost
+	if zero.Energy() != 0 {
+		t.Fatal("zero cost should have zero energy")
+	}
+}
+
+func TestSelectiveScalesDown(t *testing.T) {
+	// Hardening 10% of flip-flops must cost ~10% of hardening all.
+	m := InO()
+	all := m.HardenFFs(map[circuitlib.FFType]int{circuitlib.LEAPDICE: m.NumFFs})
+	tenth := m.HardenFFs(map[circuitlib.FFType]int{circuitlib.LEAPDICE: m.NumFFs / 10})
+	ratio := tenth.Area / all.Area
+	if ratio < 0.08 || ratio > 0.12 {
+		t.Fatalf("selective scaling ratio %.3f", ratio)
+	}
+}

@@ -1,0 +1,111 @@
+package prog
+
+import (
+	"math/rand"
+	"testing"
+
+	"clear/internal/isa"
+)
+
+// randomCFGProgram builds a random but assemble-able program with heavy
+// control flow for exercising the basic-block partitioner.
+func randomCFGProgram(rng *rand.Rand) []isa.Item {
+	b := isa.NewBuilder()
+	nBlocks := 4 + rng.Intn(6)
+	labels := make([]string, nBlocks)
+	for i := range labels {
+		labels[i] = string(rune('A' + i))
+	}
+	for i := 0; i < nBlocks; i++ {
+		b.Label(labels[i])
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			b.Addi(uint8(1+rng.Intn(5)), uint8(1+rng.Intn(5)), int32(rng.Intn(9)))
+		}
+		// terminator: fallthrough, branch or jump to a random block
+		switch rng.Intn(3) {
+		case 0:
+			// fallthrough
+		case 1:
+			b.Beq(uint8(rng.Intn(6)), uint8(rng.Intn(6)), labels[rng.Intn(nBlocks)])
+		case 2:
+			if i < nBlocks-1 {
+				b.Jmp(labels[i+1+rng.Intn(nBlocks-i-1)])
+			}
+		}
+	}
+	b.Halt()
+	return b.Items()
+}
+
+// Property: blocks partition the instruction space; every branch/jump
+// target is a block leader; successor edges point at real blocks.
+func TestBlockPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 50; iter++ {
+		items := randomCFGProgram(rng)
+		p, err := New("cfg", items, nil, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// partition
+		covered := 0
+		last := 0
+		for i, blk := range p.Blocks {
+			if blk.Start != last {
+				t.Fatalf("iter %d: block %d starts at %d, want %d", iter, i, blk.Start, last)
+			}
+			if blk.End <= blk.Start {
+				t.Fatalf("iter %d: empty block %d", iter, i)
+			}
+			covered += blk.End - blk.Start
+			last = blk.End
+		}
+		if covered != len(p.Code) {
+			t.Fatalf("iter %d: blocks cover %d of %d instructions", iter, covered, len(p.Code))
+		}
+		// leaders
+		starts := map[int]bool{}
+		for _, blk := range p.Blocks {
+			starts[blk.Start] = true
+		}
+		for pc, in := range p.Code {
+			if in.Op.IsBranch() || in.Op == isa.JAL {
+				tgt := pc + int(in.Imm)
+				if tgt >= 0 && tgt < len(p.Code) && !starts[tgt] {
+					t.Fatalf("iter %d: target %d of pc %d not a leader", iter, tgt, pc)
+				}
+			}
+		}
+		// successors
+		for i, blk := range p.Blocks {
+			for _, s := range blk.Succs {
+				if s < 0 || s >= len(p.Blocks) {
+					t.Fatalf("iter %d: block %d has bad succ %d", iter, i, s)
+				}
+			}
+			// non-control, non-final blocks must have a fallthrough succ
+			lastIn := p.Code[blk.End-1]
+			if !lastIn.Op.IsControl() && lastIn.Op != isa.HALT && lastIn.Op != isa.TRAPD && blk.End < len(p.Code) {
+				if len(blk.Succs) == 0 {
+					t.Fatalf("iter %d: fallthrough block %d has no successors", iter, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBlockSignaturesDistinct(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	items := randomCFGProgram(rng)
+	p, err := New("cfg", items, nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint32]bool{}
+	for _, blk := range p.Blocks {
+		if seen[blk.Sig] {
+			t.Fatal("duplicate signature")
+		}
+		seen[blk.Sig] = true
+	}
+}

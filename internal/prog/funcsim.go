@@ -1,0 +1,220 @@
+package prog
+
+import "clear/internal/isa"
+
+// Status describes how a functional run ended.
+type Status int
+
+// Run outcomes of the functional simulator (and, by shared convention, the
+// cycle-level cores).
+const (
+	StatusHalted   Status = iota // HALT executed: normal termination
+	StatusTrap                   // illegal op / bad memory access / div0
+	StatusDetected               // TRAPD executed: software check fired
+	StatusMaxSteps               // step budget exhausted (hang)
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusHalted:
+		return "halted"
+	case StatusTrap:
+		return "trap"
+	case StatusDetected:
+		return "detected"
+	case StatusMaxSteps:
+		return "maxsteps"
+	}
+	return "unknown"
+}
+
+// Result is the outcome of a functional run.
+type Result struct {
+	Status Status
+	Output []uint32
+	Steps  int
+}
+
+// ISS is a functional (instruction-at-a-time) CRV32 simulator. It defines
+// the architectural reference semantics: the cycle-level cores must produce
+// identical architectural results on fault-free runs. It is also the
+// platform for the paper's architecture-register and program-variable
+// injection modes (Tables 11 and 14), which operate above the
+// microarchitecture.
+type ISS struct {
+	P   *Program
+	PC  int
+	R   [32]uint32
+	Mem []uint32
+	Out []uint32
+
+	// Hook, when non-nil, runs before each instruction executes; it is the
+	// injection point for architecture-level error models.
+	Hook func(s *ISS, step int)
+}
+
+// NewISS returns a fresh functional simulator for p.
+func NewISS(p *Program) *ISS {
+	s := &ISS{P: p, Mem: make([]uint32, p.MemWords)}
+	copy(s.Mem, p.Data)
+	return s
+}
+
+// Run executes up to maxSteps instructions.
+func (s *ISS) Run(maxSteps int) Result {
+	for step := 0; step < maxSteps; step++ {
+		if s.Hook != nil {
+			s.Hook(s, step)
+		}
+		if s.PC < 0 || s.PC >= len(s.P.Code) {
+			return Result{Status: StatusTrap, Output: s.Out, Steps: step}
+		}
+		in := s.P.Code[s.PC]
+		st := s.step(in)
+		if st >= 0 {
+			return Result{Status: st, Output: s.Out, Steps: step + 1}
+		}
+		s.R[0] = 0
+	}
+	return Result{Status: StatusMaxSteps, Output: s.Out, Steps: maxSteps}
+}
+
+// step executes one instruction; it returns -1 to continue or a final Status.
+func (s *ISS) step(in isa.Inst) Status {
+	rs1 := s.R[in.Rs1]
+	rs2 := s.R[in.Rs2]
+	next := s.PC + 1
+	switch in.Op {
+	case isa.NOP:
+	case isa.HALT:
+		return StatusHalted
+	case isa.TRAPD:
+		return StatusDetected
+	case isa.OUT:
+		s.Out = append(s.Out, rs1)
+	case isa.ADD:
+		s.R[in.Rd] = rs1 + rs2
+	case isa.SUB:
+		s.R[in.Rd] = rs1 - rs2
+	case isa.AND:
+		s.R[in.Rd] = rs1 & rs2
+	case isa.OR:
+		s.R[in.Rd] = rs1 | rs2
+	case isa.XOR:
+		s.R[in.Rd] = rs1 ^ rs2
+	case isa.SLL:
+		s.R[in.Rd] = rs1 << (rs2 & 31)
+	case isa.SRL:
+		s.R[in.Rd] = rs1 >> (rs2 & 31)
+	case isa.SRA:
+		s.R[in.Rd] = uint32(int32(rs1) >> (rs2 & 31))
+	case isa.SLT:
+		s.R[in.Rd] = b2u(int32(rs1) < int32(rs2))
+	case isa.SLTU:
+		s.R[in.Rd] = b2u(rs1 < rs2)
+	case isa.MUL:
+		s.R[in.Rd] = uint32(int64(int32(rs1)) * int64(int32(rs2)))
+	case isa.MULH:
+		s.R[in.Rd] = uint32(uint64(int64(int32(rs1))*int64(int32(rs2))) >> 32)
+	case isa.DIV:
+		if rs2 == 0 {
+			return StatusTrap
+		}
+		s.R[in.Rd] = uint32(int32(rs1) / int32(rs2))
+	case isa.REM:
+		if rs2 == 0 {
+			return StatusTrap
+		}
+		s.R[in.Rd] = uint32(int32(rs1) % int32(rs2))
+	case isa.ADDI:
+		s.R[in.Rd] = rs1 + uint32(in.Imm)
+	case isa.ANDI:
+		s.R[in.Rd] = rs1 & uint32(in.Imm)
+	case isa.ORI:
+		s.R[in.Rd] = rs1 | uint32(in.Imm)
+	case isa.XORI:
+		s.R[in.Rd] = rs1 ^ uint32(in.Imm)
+	case isa.SLLI:
+		s.R[in.Rd] = rs1 << (uint32(in.Imm) & 31)
+	case isa.SRLI:
+		s.R[in.Rd] = rs1 >> (uint32(in.Imm) & 31)
+	case isa.SRAI:
+		s.R[in.Rd] = uint32(int32(rs1) >> (uint32(in.Imm) & 31))
+	case isa.SLTI:
+		s.R[in.Rd] = b2u(int32(rs1) < in.Imm)
+	case isa.LUI:
+		s.R[in.Rd] = uint32(in.Imm) << 16
+	case isa.LW:
+		addr := int32(rs1) + in.Imm
+		if addr < 0 || int(addr) >= len(s.Mem) {
+			return StatusTrap
+		}
+		s.R[in.Rd] = s.Mem[addr]
+	case isa.SW:
+		addr := int32(rs1) + in.Imm
+		if addr < 0 || int(addr) >= len(s.Mem) {
+			return StatusTrap
+		}
+		s.Mem[addr] = rs2
+	case isa.BEQ:
+		if rs1 == rs2 {
+			next = s.PC + int(in.Imm)
+		}
+	case isa.BNE:
+		if rs1 != rs2 {
+			next = s.PC + int(in.Imm)
+		}
+	case isa.BLT:
+		if int32(rs1) < int32(rs2) {
+			next = s.PC + int(in.Imm)
+		}
+	case isa.BGE:
+		if int32(rs1) >= int32(rs2) {
+			next = s.PC + int(in.Imm)
+		}
+	case isa.BLTU:
+		if rs1 < rs2 {
+			next = s.PC + int(in.Imm)
+		}
+	case isa.BGEU:
+		if rs1 >= rs2 {
+			next = s.PC + int(in.Imm)
+		}
+	case isa.JAL:
+		s.R[in.Rd] = uint32(s.PC + 1)
+		next = s.PC + int(in.Imm)
+	case isa.JALR:
+		s.R[in.Rd] = uint32(s.PC + 1)
+		next = int(int32(rs1) + in.Imm)
+	default:
+		return StatusTrap
+	}
+	s.PC = next
+	return -1
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Run executes p functionally from a fresh state.
+func Run(p *Program, maxSteps int) Result {
+	return NewISS(p).Run(maxSteps)
+}
+
+// OutputsEqual compares an observed output stream to the program's golden
+// output.
+func (p *Program) OutputsEqual(out []uint32) bool {
+	if len(out) != len(p.Expected) {
+		return false
+	}
+	for i, v := range out {
+		if v != p.Expected[i] {
+			return false
+		}
+	}
+	return true
+}

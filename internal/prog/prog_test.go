@@ -1,0 +1,227 @@
+package prog
+
+import (
+	"testing"
+
+	"clear/internal/isa"
+)
+
+// sumProgram builds: sum 1..n, OUT sum, HALT.
+func sumProgram(t *testing.T, n int32) *Program {
+	t.Helper()
+	b := isa.NewBuilder()
+	b.Li(1, 0) // sum
+	b.Li(2, 0) // i
+	b.Li(3, n)
+	b.Label("loop")
+	b.Addi(2, 2, 1)
+	b.Add(1, 1, 2)
+	b.Bne(2, 3, "loop")
+	b.Out(1)
+	b.Halt()
+	p, err := New("sum", b.Items(), nil, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestFuncSimSum(t *testing.T) {
+	p := sumProgram(t, 100)
+	res := Run(p, 10000)
+	if res.Status != StatusHalted {
+		t.Fatalf("status %v", res.Status)
+	}
+	if len(res.Output) != 1 || res.Output[0] != 5050 {
+		t.Fatalf("output %v, want [5050]", res.Output)
+	}
+}
+
+func TestComputeExpected(t *testing.T) {
+	p := sumProgram(t, 10)
+	if err := p.ComputeExpected(1000); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Expected) != 1 || p.Expected[0] != 55 {
+		t.Fatalf("expected %v", p.Expected)
+	}
+	if !p.OutputsEqual([]uint32{55}) {
+		t.Fatal("OutputsEqual false negative")
+	}
+	if p.OutputsEqual([]uint32{54}) || p.OutputsEqual(nil) {
+		t.Fatal("OutputsEqual false positive")
+	}
+}
+
+func TestMemoryAndData(t *testing.T) {
+	// Sum a 5-element array placed in the data image.
+	data := []uint32{3, 1, 4, 1, 5}
+	b := isa.NewBuilder()
+	b.Li(1, 0) // sum
+	b.Li(2, 0) // addr
+	b.Li(3, int32(len(data)))
+	b.Label("loop")
+	b.Lw(4, 2, 0)
+	b.Add(1, 1, 4)
+	b.Addi(2, 2, 1)
+	b.Bne(2, 3, "loop")
+	b.Out(1)
+	b.Halt()
+	p, err := New("arrsum", b.Items(), data, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := Run(p, 1000)
+	if res.Status != StatusHalted || res.Output[0] != 14 {
+		t.Fatalf("got %v %v", res.Status, res.Output)
+	}
+}
+
+func TestTrapOnBadAccess(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Li(1, 9999)
+	b.Lw(2, 1, 0)
+	b.Halt()
+	p, _ := New("bad", b.Items(), nil, 16)
+	if res := Run(p, 100); res.Status != StatusTrap {
+		t.Fatalf("status %v, want trap", res.Status)
+	}
+
+	b = isa.NewBuilder()
+	b.Li(1, -1)
+	b.Sw(1, 1, 0)
+	b.Halt()
+	p, _ = New("badsw", b.Items(), nil, 16)
+	if res := Run(p, 100); res.Status != StatusTrap {
+		t.Fatalf("sw status %v, want trap", res.Status)
+	}
+}
+
+func TestTrapOnDivZero(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Li(1, 5)
+	b.Li(2, 0)
+	b.Div(3, 1, 2)
+	b.Halt()
+	p, _ := New("div0", b.Items(), nil, 16)
+	if res := Run(p, 100); res.Status != StatusTrap {
+		t.Fatalf("status %v, want trap", res.Status)
+	}
+}
+
+func TestTrapdStatus(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Trapd()
+	p, _ := New("td", b.Items(), nil, 16)
+	if res := Run(p, 100); res.Status != StatusDetected {
+		t.Fatalf("status %v, want detected", res.Status)
+	}
+}
+
+func TestHangStatus(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Label("spin")
+	b.Jmp("spin")
+	p, _ := New("spin", b.Items(), nil, 16)
+	if res := Run(p, 50); res.Status != StatusMaxSteps || res.Steps != 50 {
+		t.Fatalf("got %v after %d", res.Status, res.Steps)
+	}
+}
+
+func TestR0Hardwired(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Addi(0, 0, 7) // attempt to write r0
+	b.Out(0)
+	b.Halt()
+	p, _ := New("r0", b.Items(), nil, 16)
+	res := Run(p, 100)
+	if res.Output[0] != 0 {
+		t.Fatalf("r0 = %d, want 0", res.Output[0])
+	}
+}
+
+func TestJalrCallReturn(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Li(5, 3)
+	b.Jal(31, "fn") // call
+	b.Out(5)
+	b.Halt()
+	b.Label("fn")
+	b.Addi(5, 5, 39)
+	b.Ret(31)
+	p, _ := New("call", b.Items(), nil, 16)
+	res := Run(p, 100)
+	if res.Status != StatusHalted || res.Output[0] != 42 {
+		t.Fatalf("got %v %v", res.Status, res.Output)
+	}
+}
+
+func TestBasicBlocks(t *testing.T) {
+	p := sumProgram(t, 5)
+	// Expect blocks: [entry .. loop), [loop .. after-branch), [out/halt ..]
+	if len(p.Blocks) != 3 {
+		t.Fatalf("blocks = %+v, want 3", p.Blocks)
+	}
+	loop := p.Labels["loop"]
+	if p.Blocks[1].Start != loop {
+		t.Fatalf("block1 start %d, want %d", p.Blocks[1].Start, loop)
+	}
+	// Loop block has two successors: itself and fallthrough.
+	if len(p.Blocks[1].Succs) != 2 {
+		t.Fatalf("loop succs = %v", p.Blocks[1].Succs)
+	}
+	// Signatures distinct.
+	sigs := map[uint32]bool{}
+	for _, blk := range p.Blocks {
+		if sigs[blk.Sig] {
+			t.Fatal("duplicate block signature")
+		}
+		sigs[blk.Sig] = true
+	}
+	// BlockOf maps each pc to the containing block.
+	for pc := range p.Code {
+		i := p.BlockOf(pc)
+		if i < 0 || pc < p.Blocks[i].Start || pc >= p.Blocks[i].End {
+			t.Fatalf("BlockOf(%d) = %d (%+v)", pc, i, p.Blocks[i])
+		}
+	}
+	if p.BlockOf(len(p.Code)) != -1 {
+		t.Fatal("BlockOf past end should be -1")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Jmp("missing")
+	if _, err := New("x", b.Items(), nil, 4); err == nil {
+		t.Fatal("expected assemble error")
+	}
+	b = isa.NewBuilder()
+	b.Halt()
+	if _, err := New("x", b.Items(), make([]uint32, 10), 4); err == nil {
+		t.Fatal("expected memWords error")
+	}
+}
+
+func TestISSHook(t *testing.T) {
+	p := sumProgram(t, 10)
+	if err := p.ComputeExpected(1000); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt r1 mid-run via the hook: output must mismatch (OMM-like).
+	s := NewISS(p)
+	fired := false
+	s.Hook = func(s *ISS, step int) {
+		if step == 12 && !fired {
+			s.R[1] ^= 1 << 20
+			fired = true
+		}
+	}
+	res := s.Run(1000)
+	if res.Status != StatusHalted {
+		t.Fatalf("status %v", res.Status)
+	}
+	if p.OutputsEqual(res.Output) {
+		t.Fatal("corruption should change the output")
+	}
+}

@@ -1,0 +1,132 @@
+// Package recovery models the four hardware error recovery techniques
+// (paper Table 15, Figs 4/5): instruction replay (IR), extended instruction
+// replay (EIR, with the extra buffers DFC needs), pipeline flush, and
+// reorder-buffer (RoB) flush. Each has a hardware cost, a recovery latency,
+// and a recoverability predicate — flush/RoB recovery cannot recover errors
+// in flip-flops past the commit point, which is why Heuristic 1 hardens
+// those flip-flops with LEAP-DICE instead.
+package recovery
+
+import (
+	"clear/internal/ff"
+	"clear/internal/power"
+)
+
+// Kind identifies a recovery technique.
+type Kind int
+
+// Recovery techniques. None means unconstrained recovery (errors are
+// detected but corrected externally; detected errors count as DUE).
+const (
+	None Kind = iota
+	Flush
+	RoB
+	IR
+	EIR
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Flush:
+		return "flush"
+	case RoB:
+		return "RoB"
+	case IR:
+		return "IR"
+	case EIR:
+		return "EIR"
+	}
+	return "?"
+}
+
+// CoreName selects the recovery cost table ("InO" or "OoO").
+//
+// The constants reproduce the paper's Table 15: recovery hardware for the
+// in-order core is relatively expensive (shadow register file and replay
+// buffers are large next to a small core), while the same structures are
+// negligible next to the out-of-order core.
+var costs = map[string]map[Kind]power.Cost{
+	"InO": {
+		IR:    {Area: 0.16, Power: 0.21},
+		EIR:   {Area: 0.34, Power: 0.32},
+		Flush: {Area: 0.006, Power: 0.009, ExecTime: 0.009},
+	},
+	"OoO": {
+		IR:  {Area: 0.001, Power: 0.001},
+		EIR: {Area: 0.002, Power: 0.001},
+		RoB: {Area: 0.0001, Power: 0.0001},
+	},
+}
+
+// latencies in cycles (Table 15).
+var latencies = map[string]map[Kind]int{
+	"InO": {IR: 47, EIR: 47, Flush: 7},
+	"OoO": {IR: 104, EIR: 104, RoB: 64},
+}
+
+// Valid reports whether k exists for the given core.
+func Valid(k Kind, core string) bool {
+	if k == None {
+		return true
+	}
+	_, ok := costs[core][k]
+	return ok
+}
+
+// Cost returns the hardware cost of recovery k on the given core.
+func Cost(k Kind, core string) power.Cost {
+	return costs[core][k]
+}
+
+// Latency returns the recovery latency in cycles.
+func Latency(k Kind, core string) int {
+	return latencies[core][k]
+}
+
+// flushUnrecoverableInO lists in-order pipeline units whose flip-flops sit
+// past the memory-write stage (the paper: "errors detected after the memory
+// write stage" escape flush recovery). The memory-stage input latch itself
+// is recoverable: detection fires before its access commits.
+var flushUnrecoverableInO = map[string]bool{
+	"exception": true, "write": true, "dcache": true,
+}
+
+// robUnrecoverableOoO lists out-of-order units past the reorder buffer
+// (the committed-store path).
+var robUnrecoverableOoO = map[string]bool{
+	"stq": true,
+}
+
+// Recoverable reports whether an error detected in the given flip-flop can
+// be recovered by technique k. IR and EIR recover any pipeline flip-flop;
+// flush and RoB cannot recover past the commit point.
+func Recoverable(k Kind, core string, space *ff.Space, bit int) bool {
+	switch k {
+	case IR, EIR:
+		return true
+	case Flush:
+		if core != "InO" {
+			return false
+		}
+		return !flushUnrecoverableInO[space.UnitOf(bit)]
+	case RoB:
+		if core != "OoO" {
+			return false
+		}
+		return !robUnrecoverableOoO[space.UnitOf(bit)]
+	}
+	return false
+}
+
+// UnrecoverableUnits returns the unit names k cannot recover on the core.
+func UnrecoverableUnits(k Kind, core string) []string {
+	switch {
+	case k == Flush && core == "InO":
+		return []string{"exception", "write", "dcache"}
+	case k == RoB && core == "OoO":
+		return []string{"stq"}
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package recovery
+
+import (
+	"testing"
+
+	"clear/internal/ino"
+	"clear/internal/ooo"
+)
+
+func TestValidity(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		core string
+		ok   bool
+	}{
+		{None, "InO", true}, {None, "OoO", true},
+		{Flush, "InO", true}, {Flush, "OoO", false},
+		{RoB, "OoO", true}, {RoB, "InO", false},
+		{IR, "InO", true}, {IR, "OoO", true},
+		{EIR, "InO", true}, {EIR, "OoO", true},
+	}
+	for _, c := range cases {
+		if Valid(c.k, c.core) != c.ok {
+			t.Errorf("Valid(%v,%s) = %v, want %v", c.k, c.core, !c.ok, c.ok)
+		}
+	}
+}
+
+func TestCostsMatchPaperOrdering(t *testing.T) {
+	// Table 15: recovery is expensive on the small core, nearly free on
+	// the big one; EIR > IR > flush on InO.
+	irI := Cost(IR, "InO")
+	eirI := Cost(EIR, "InO")
+	flI := Cost(Flush, "InO")
+	if !(eirI.Area > irI.Area && irI.Area > flI.Area) {
+		t.Fatalf("InO area ordering broken: %v %v %v", eirI.Area, irI.Area, flI.Area)
+	}
+	irO := Cost(IR, "OoO")
+	robO := Cost(RoB, "OoO")
+	if irO.Area >= irI.Area/10 {
+		t.Fatalf("OoO IR (%v) should be far cheaper than InO IR (%v)", irO.Area, irI.Area)
+	}
+	if robO.Area > irO.Area {
+		t.Fatal("RoB should be the cheapest OoO recovery")
+	}
+	if flI.ExecTime <= 0 {
+		t.Fatal("flush recovery has a pipeline-refill execution cost")
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	if Latency(Flush, "InO") >= Latency(IR, "InO") {
+		t.Fatal("flush should be faster than replay")
+	}
+	if Latency(RoB, "OoO") >= Latency(IR, "OoO") {
+		t.Fatal("RoB flush should be faster than instruction replay")
+	}
+	for _, c := range []struct {
+		k    Kind
+		core string
+		want int
+	}{
+		{IR, "InO", 47}, {Flush, "InO", 7}, {IR, "OoO", 104}, {RoB, "OoO", 64},
+	} {
+		if got := Latency(c.k, c.core); got != c.want {
+			t.Errorf("Latency(%v,%s) = %d, want %d", c.k, c.core, got, c.want)
+		}
+	}
+}
+
+func TestRecoverabilityInO(t *testing.T) {
+	space := ino.Space()
+	// flush cannot recover post-memory-write flip-flops
+	post := space.BitsOf("w.result")[0]
+	pre := space.BitsOf("d.inst")[0]
+	if Recoverable(Flush, "InO", space, post) {
+		t.Fatal("writeback FFs must be flush-unrecoverable")
+	}
+	if !Recoverable(Flush, "InO", space, pre) {
+		t.Fatal("decode FFs must be flush-recoverable")
+	}
+	// IR recovers everything
+	if !Recoverable(IR, "InO", space, post) || !Recoverable(EIR, "InO", space, post) {
+		t.Fatal("IR/EIR must recover any pipeline FF")
+	}
+	// flush on the wrong core
+	if Recoverable(Flush, "OoO", ooo.Space(), 0) {
+		t.Fatal("flush is not an OoO mechanism")
+	}
+}
+
+func TestRecoverabilityOoO(t *testing.T) {
+	space := ooo.Space()
+	stq := space.BitsOf("mem.stq.data0")[0]
+	rob := space.BitsOf("rob.val0")[0]
+	if Recoverable(RoB, "OoO", space, stq) {
+		t.Fatal("committed-store-path FFs must be RoB-unrecoverable")
+	}
+	if !Recoverable(RoB, "OoO", space, rob) {
+		t.Fatal("ROB FFs must be RoB-recoverable")
+	}
+	if !Recoverable(IR, "OoO", space, stq) {
+		t.Fatal("IR must recover the store queue")
+	}
+	if Recoverable(None, "OoO", space, rob) {
+		t.Fatal("no recovery recovers nothing")
+	}
+}
+
+func TestUnrecoverableUnits(t *testing.T) {
+	if len(UnrecoverableUnits(Flush, "InO")) == 0 {
+		t.Fatal("flush must list unrecoverable units")
+	}
+	if len(UnrecoverableUnits(RoB, "OoO")) == 0 {
+		t.Fatal("RoB must list unrecoverable units")
+	}
+	if UnrecoverableUnits(IR, "InO") != nil {
+		t.Fatal("IR recovers everything")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{None: "none", Flush: "flush", RoB: "RoB", IR: "IR", EIR: "EIR"} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Package sim defines the interfaces shared by the cycle-level processor
+// cores (internal/ino, internal/ooo) and consumed by the fault-injection
+// engine and the architecture-level checkers.
+package sim
+
+import (
+	"clear/internal/ff"
+	"clear/internal/prog"
+)
+
+// CommitEvent describes one instruction retiring in program order.
+// Architecture-level checkers (DFC, monitor core) observe the commit stream
+// through these events — the same vantage point the hardware checkers have.
+type CommitEvent struct {
+	PC       uint32
+	Word     uint32 // instruction encoding as committed (possibly corrupted)
+	Result   uint32 // value written to the register file (if any)
+	StoreVal uint32
+	Addr     uint32 // effective address for loads/stores
+}
+
+// CommitHook observes retiring instructions; returning true signals that an
+// architecture-level checker detected an error, ending the run with
+// prog.StatusDetected.
+type CommitHook func(ev CommitEvent) bool
+
+// Core is a cycle-level processor core with flip-flop-resolution state.
+type Core interface {
+	// Reset rebinds the core to p and clears all state.
+	Reset(p *prog.Program)
+	// Step advances one clock cycle.
+	Step()
+	// Done reports whether the program has finished.
+	Done() bool
+	// Run steps until done or maxCycles, returning the result (a cutoff
+	// reports prog.StatusMaxSteps).
+	Run(maxCycles int) prog.Result
+	// Result summarizes the finished run.
+	Result() prog.Result
+	// State exposes the flip-flop state for fault injection.
+	State() *ff.State
+	// SpaceOf returns the core's flip-flop space.
+	SpaceOf() *ff.Space
+	// Cycles returns cycles simulated so far.
+	Cycles() int
+	// Retired returns committed instruction count.
+	Retired() int64
+	// Output returns the output stream emitted so far.
+	Output() []uint32
+	// SetCommitHook installs an architecture-level commit observer.
+	SetCommitHook(h CommitHook)
+}

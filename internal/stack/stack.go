@@ -1,0 +1,120 @@
+// Package stack defines the cross-layer resilience vocabulary: the system
+// stack layers, the ten detection/correction techniques, the γ correction
+// factor of [Schirmeier 15] (Sec 2.1 of the paper), and the SDC/DUE
+// improvement arithmetic of Eq. 1a/1b.
+package stack
+
+import "math"
+
+// Layer is an abstraction layer of the system stack.
+type Layer int
+
+// Stack layers, bottom to top.
+const (
+	Circuit Layer = iota
+	Logic
+	Architecture
+	Software
+	Algorithm
+)
+
+func (l Layer) String() string {
+	switch l {
+	case Circuit:
+		return "Circuit"
+	case Logic:
+		return "Logic"
+	case Architecture:
+		return "Architecture"
+	case Software:
+		return "Software"
+	case Algorithm:
+		return "Algorithm"
+	}
+	return "?"
+}
+
+// Technique identifies one of the ten error detection/correction techniques
+// in the resilience library (Fig 1c).
+type Technique int
+
+// The resilience library.
+const (
+	LEAPDICE Technique = iota
+	EDS
+	Parity
+	DFC
+	MonitorCore
+	Assertions
+	CFCSS
+	EDDI
+	ABFTCorrection
+	ABFTDetection
+	NumTechniques
+)
+
+var techNames = [...]string{
+	"LEAP-DICE", "EDS", "Parity", "DFC", "Monitor core",
+	"Assertions", "CFCSS", "EDDI", "ABFT correction", "ABFT detection",
+}
+
+func (t Technique) String() string {
+	if int(t) < len(techNames) {
+		return techNames[t]
+	}
+	return "?"
+}
+
+// Layer returns the stack layer a technique belongs to.
+func (t Technique) Layer() Layer {
+	switch t {
+	case LEAPDICE, EDS:
+		return Circuit
+	case Parity:
+		return Logic
+	case DFC, MonitorCore:
+		return Architecture
+	case Assertions, CFCSS, EDDI:
+		return Software
+	default:
+		return Algorithm
+	}
+}
+
+// Detects reports whether the technique only detects errors (needing a
+// recovery mechanism for correction).
+func (t Technique) Detects() bool {
+	switch t {
+	case LEAPDICE, ABFTCorrection:
+		return false
+	}
+	return true
+}
+
+// Gamma computes the susceptibility correction factor: techniques that add
+// flip-flops or execution time enlarge the design's exposure to soft
+// errors. Overheads multiply: a design with 20% more flip-flops running
+// 6.2% longer has γ = 1.2 × 1.062 (the paper's DFC example).
+func Gamma(ffOverheads, timeOverheads []float64) float64 {
+	g := 1.0
+	for _, v := range ffOverheads {
+		g *= 1 + v
+	}
+	for _, v := range timeOverheads {
+		g *= 1 + v
+	}
+	return g
+}
+
+// Improvement implements Eq. 1a/1b: original error count over new error
+// count, discounted by γ. A zero new count is a genuine "max" point and
+// returns +Inf; a zero original count returns 1 (nothing to improve).
+func Improvement(orig, new, gamma float64) float64 {
+	if orig <= 0 {
+		return 1
+	}
+	if new <= 0 {
+		return math.Inf(1)
+	}
+	return orig / new / gamma
+}

@@ -1,0 +1,295 @@
+package swres
+
+import (
+	"fmt"
+
+	"clear/internal/isa"
+	"clear/internal/prog"
+)
+
+// AssertKind selects which likely-invariant assertion checks are inserted
+// (paper Table 10 compares data-variable and control-variable checks).
+type AssertKind int
+
+// Assertion variants.
+const (
+	AssertData     AssertKind = iota // value-range checks on stored/output data
+	AssertControl                    // range checks on branch/loop control variables
+	AssertCombined                   // both
+)
+
+func (k AssertKind) String() string {
+	switch k {
+	case AssertData:
+		return "data"
+	case AssertControl:
+		return "control"
+	case AssertCombined:
+		return "combined"
+	}
+	return "?"
+}
+
+// siteRange is a trained likely invariant: the observed value range at one
+// static program point.
+type siteRange struct {
+	min, max int32
+	seen     bool
+}
+
+func (r *siteRange) observe(v int32) {
+	if !r.seen {
+		r.min, r.max, r.seen = v, v, true
+		return
+	}
+	if v < r.min {
+		r.min = v
+	}
+	if v > r.max {
+		r.max = v
+	}
+}
+
+// train profiles the program to learn per-site value ranges: stored values
+// and outputs (data variables) and first branch operands (control
+// variables). The paper trains on representative inputs and folds the
+// evaluation input into training for its final analysis; with our
+// deterministic inputs this yields zero false positives by construction.
+func train(p *prog.Program) (data, control map[int]*siteRange, err error) {
+	data = map[int]*siteRange{}
+	control = map[int]*siteRange{}
+	s := prog.NewISS(p)
+	s.Hook = func(s *prog.ISS, step int) {
+		if s.PC < 0 || s.PC >= len(p.Code) {
+			return
+		}
+		in := p.Code[s.PC]
+		switch {
+		case in.Op == isa.SW:
+			r := data[s.PC]
+			if r == nil {
+				r = &siteRange{}
+				data[s.PC] = r
+			}
+			r.observe(int32(s.R[in.Rs2]))
+		case in.Op == isa.OUT:
+			r := data[s.PC]
+			if r == nil {
+				r = &siteRange{}
+				data[s.PC] = r
+			}
+			r.observe(int32(s.R[in.Rs1]))
+		case in.Op.IsBranch():
+			r := control[s.PC]
+			if r == nil {
+				r = &siteRange{}
+				control[s.PC] = r
+			}
+			r.observe(int32(s.R[in.Rs1]))
+		}
+	}
+	res := s.Run(8_000_000)
+	if res.Status != prog.StatusHalted {
+		return nil, nil, fmt.Errorf("swres assert: training run of %s: %v", p.Name, res.Status)
+	}
+	return data, control, nil
+}
+
+// emitLi loads an arbitrary 32-bit constant into rd at the item level.
+func emitLi(items []isa.Item, rd uint8, v int32) []isa.Item {
+	if v >= -32768 && v < 32768 {
+		return append(items, isa.Item{Inst: isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: 0, Imm: v}})
+	}
+	items = append(items, isa.Item{Inst: isa.Inst{Op: isa.LUI, Rd: rd, Imm: int32(uint32(v) >> 16)}})
+	if lo := int32(uint32(v) & 0xFFFF); lo != 0 {
+		items = append(items, isa.Item{Inst: isa.Inst{Op: isa.ORI, Rd: rd, Rs1: rd, Imm: lo}})
+	}
+	return items
+}
+
+// rangeCheck emits: if val < min or val > max, branch to the shared TRAPD
+// block (signed bounds from training).
+func rangeCheck(items []isa.Item, val uint8, r *siteRange, lbl *uniqueLabeler) []isa.Item {
+	items = emitLi(items, assertScratch, r.min)
+	items = append(items,
+		isa.Item{Inst: isa.Inst{Op: isa.BLT, Rs1: val, Rs2: assertScratch}, Target: failLabel})
+	items = emitLi(items, assertScratch, r.max)
+	items = append(items,
+		isa.Item{Inst: isa.Inst{Op: isa.BLT, Rs1: assertScratch, Rs2: val}, Target: failLabel})
+	return items
+}
+
+// instrument inserts the range checks into p's item stream using the given
+// trained site ranges.
+func instrument(p *prog.Program, data, control map[int]*siteRange, kind AssertKind) []isa.Item {
+	lbl := &uniqueLabeler{prefix: "as"}
+	var out []isa.Item
+	for pc, it := range p.Items {
+		in := it.Inst
+		wantData := kind != AssertControl
+		wantCtl := kind != AssertData
+		anchor := func() {
+			if len(it.Labels) > 0 {
+				out = append(out, isa.Item{Labels: it.Labels, Inst: isa.Inst{Op: isa.NOP}})
+				it.Labels = nil
+			}
+		}
+		switch {
+		case wantData && in.Op == isa.SW && data[pc] != nil:
+			anchor()
+			out = rangeCheck(out, in.Rs2, data[pc], lbl)
+			out = append(out, isa.Item{Inst: in, Target: it.Target})
+		case wantData && in.Op == isa.OUT && data[pc] != nil:
+			anchor()
+			out = rangeCheck(out, in.Rs1, data[pc], lbl)
+			out = append(out, isa.Item{Inst: in, Target: it.Target})
+		case wantCtl && in.Op.IsBranch() && control[pc] != nil && in.Rs1 != 0 &&
+			isBackward(p, pc, it.Target):
+			// control-variable checks guard loop back-edges (loop indices,
+			// pointers) — the paper's hand-picked control sites
+			anchor()
+			out = rangeCheck(out, in.Rs1, control[pc], lbl)
+			out = append(out, isa.Item{Inst: in, Target: it.Target})
+		default:
+			out = append(out, it)
+		}
+	}
+	return appendFail(out)
+}
+
+// isBackward reports whether a branch at pc targets an earlier pc (a loop
+// back-edge).
+func isBackward(p *prog.Program, pc int, target string) bool {
+	t, ok := p.Labels[target]
+	return ok && t <= pc
+}
+
+// mergeRanges widens dst site ranges to cover src observations.
+func mergeRanges(dst, src map[int]*siteRange) {
+	for pc, r := range src {
+		if d, ok := dst[pc]; ok {
+			if r.min < d.min {
+				d.min = r.min
+			}
+			if r.max > d.max {
+				d.max = r.max
+			}
+		} else {
+			dst[pc] = r
+		}
+	}
+}
+
+// Assertions inserts likely-invariant checks trained by profiling:
+// data-variable checks guard values flowing to memory and output;
+// control-variable checks guard branch operands (loop indices, pointers).
+// Training uses p's own input (the paper's final-analysis setting: zero
+// false positives by construction). Use AssertionsTrained to also fold in
+// representative training inputs, which loosens the invariants the way the
+// paper's multi-input training does.
+func Assertions(p *prog.Program, kind AssertKind) (*prog.Program, error) {
+	return AssertionsTrained(p, nil, kind)
+}
+
+// AssertionsTrained trains on p plus additional same-code programs with
+// different inputs (the paper trains on representative inputs and folds the
+// evaluation input in for its final analysis), then instruments p.
+func AssertionsTrained(p *prog.Program, extraTrainers []*prog.Program, kind AssertKind) (*prog.Program, error) {
+	data, control, err := train(p)
+	if err != nil {
+		return nil, err
+	}
+	for _, tp := range extraTrainers {
+		if len(tp.Code) != len(p.Code) {
+			return nil, fmt.Errorf("swres: trainer %s code differs from %s", tp.Name, p.Name)
+		}
+		d2, c2, err := train(tp)
+		if err != nil {
+			return nil, err
+		}
+		mergeRanges(data, d2)
+		mergeRanges(control, c2)
+	}
+	return rebuild(p, "assert-"+kind.String(), instrument(p, data, control, kind))
+}
+
+// widen expands a trained range by width*num/den plus a constant slack,
+// modeling the margins a deployment would add around training observations.
+func widen(r *siteRange, num, den int32) *siteRange {
+	w := int64(r.max) - int64(r.min)
+	pad := int64(num)*(w+1)/int64(den) + 1
+	lo := int64(r.min) - pad
+	hi := int64(r.max) + pad
+	clamp := func(v int64) int32 {
+		if v < -(1 << 31) {
+			return -(1 << 31)
+		}
+		if v > (1<<31)-1 {
+			return (1 << 31) - 1
+		}
+		return int32(v)
+	}
+	return &siteRange{min: clamp(lo), max: clamp(hi), seen: true}
+}
+
+// FPResult reports an assertion false-positive measurement: checks trained
+// on one input set and executed on another (paper Sec 2.4: "it is possible
+// to encounter false positives").
+type FPResult struct {
+	Fired          bool // the error-free run tripped a check
+	ChecksExecuted int  // dynamic range-check branch executions
+}
+
+// MeasureFalsePositives trains assertion ranges on trainP (with the given
+// widening margin num/den), instruments evalP with them, and runs the
+// error-free evaluation input: any detection is a false positive. evalP
+// and trainP must share code (data-only input variation).
+func MeasureFalsePositives(evalP, trainP *prog.Program, kind AssertKind, num, den int32) (FPResult, error) {
+	if len(evalP.Code) != len(trainP.Code) {
+		return FPResult{}, fmt.Errorf("swres: train/eval programs differ in code")
+	}
+	data, control, err := train(trainP)
+	if err != nil {
+		return FPResult{}, err
+	}
+	for pc, r := range data {
+		data[pc] = widen(r, num, den)
+	}
+	for pc, r := range control {
+		control[pc] = widen(r, num, den)
+	}
+	items := instrument(evalP, data, control, kind)
+	tp, err := prog.New(evalP.Name+"+assert-fp", items, evalP.Data, evalP.MemWords)
+	if err != nil {
+		return FPResult{}, err
+	}
+	// count dynamic executions of the check branches (BLT targeting the
+	// shared fail block)
+	failPC, ok := tp.Labels[failLabel]
+	if !ok {
+		return FPResult{}, fmt.Errorf("swres: no fail label")
+	}
+	checkPC := map[int]bool{}
+	for pc, in := range tp.Code {
+		if in.Op == isa.BLT && pc+int(in.Imm) == failPC {
+			checkPC[pc] = true
+		}
+	}
+	s := prog.NewISS(tp)
+	executed := 0
+	s.Hook = func(s *prog.ISS, step int) {
+		if checkPC[s.PC] {
+			executed++
+		}
+	}
+	res := s.Run(16_000_000)
+	out := FPResult{ChecksExecuted: executed}
+	switch res.Status {
+	case prog.StatusDetected:
+		out.Fired = true
+	case prog.StatusHalted:
+	default:
+		return out, fmt.Errorf("swres: FP run ended with %v", res.Status)
+	}
+	return out, nil
+}

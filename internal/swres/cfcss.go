@@ -1,0 +1,182 @@
+package swres
+
+import (
+	"fmt"
+
+	"clear/internal/isa"
+	"clear/internal/prog"
+)
+
+// CFCSS applies control-flow checking by software signatures [Oh 02a]:
+// every basic block gets a static signature; a run-time signature register
+// G is updated at block entry with the XOR difference from the designated
+// predecessor and compared against the block's static signature. Blocks
+// with multiple predecessors use the adjuster register D, set on each
+// non-designated incoming edge (fall-through edges set D in the
+// predecessor; taken edges are split through a stub that sets D and jumps).
+//
+// Programs containing indirect jumps (JALR) or linking JALs cannot be
+// instrumented (their CFG edges are not static); plain gotos (JAL r0) are
+// supported.
+func CFCSS(p *prog.Program) (*prog.Program, error) {
+	for _, it := range p.Items {
+		if it.Inst.Op == isa.JALR || (it.Inst.Op == isa.JAL && it.Inst.Rd != 0) {
+			return nil, fmt.Errorf("swres cfcss: %s contains calls/indirect jumps", p.Name)
+		}
+	}
+	nb := len(p.Blocks)
+	if nb == 0 {
+		return nil, fmt.Errorf("swres cfcss: %s has no blocks", p.Name)
+	}
+
+	// Signatures: small distinct constants that fit a single Li.
+	sig := make([]int32, nb)
+	for j := range sig {
+		sig[j] = int32((j*2131 + 977) % 32000)
+	}
+
+	// Predecessor lists from the CFG.
+	preds := make([][]int, nb)
+	for i, blk := range p.Blocks {
+		for _, s := range blk.Succs {
+			preds[s] = append(preds[s], i)
+		}
+	}
+	// The entry block has a virtual predecessor with signature 0.
+	multiPred := func(j int) bool {
+		n := len(preds[j])
+		if j == 0 {
+			n++
+		}
+		return n > 1
+	}
+	desigSig := func(j int) int32 {
+		if j == 0 {
+			return 0 // virtual entry predecessor
+		}
+		if len(preds[j]) == 0 {
+			return 0 // unreachable statically; keep a defined value
+		}
+		return sig[preds[j][0]]
+	}
+	isDesig := func(pred, j int) bool {
+		if j == 0 {
+			return false
+		}
+		return len(preds[j]) > 0 && preds[j][0] == pred
+	}
+
+	lbl := &uniqueLabeler{prefix: "cf"}
+	// Pre-mint one label per block so forward edges can be retargeted to
+	// block entry instrumentation before that block is emitted.
+	blockLabel := make([]string, nb)
+	for j := range blockLabel {
+		blockLabel[j] = lbl.next()
+	}
+	var out []isa.Item
+	var stubs []isa.Item
+
+	// emitLi emits a single-instruction load of a small constant.
+	emitLi := func(items []isa.Item, rd uint8, v int32) []isa.Item {
+		return append(items, isa.Item{Inst: isa.Inst{Op: isa.ADDI, Rd: rd, Rs1: 0, Imm: v}})
+	}
+
+	// Prologue: G starts at the virtual entry signature 0, D cleared.
+	out = emitLi(out, sigReg, 0)
+	out = emitLi(out, adjReg, 0)
+
+	for j, blk := range p.Blocks {
+		// Block-entry instrumentation, carrying the block's labels so that
+		// jump entries pass through the check.
+		entryLabels := append([]string{}, p.Items[blk.Start].Labels...)
+		entryLabels = append(entryLabels, blockLabel[j])
+
+		d := desigSig(j) ^ sig[j]
+		out = append(out, isa.Item{Labels: entryLabels,
+			Inst: isa.Inst{Op: isa.XORI, Rd: sigReg, Rs1: sigReg, Imm: d}})
+		if multiPred(j) {
+			out = append(out, isa.Item{
+				Inst: isa.Inst{Op: isa.XOR, Rd: sigReg, Rs1: sigReg, Rs2: adjReg}})
+			// reset D so the designated path needs no adjustment next time
+			out = emitLi(out, adjReg, 0)
+		}
+		out = emitLi(out, scratchReg, sig[j])
+		out = append(out,
+			isa.Item{Inst: isa.Inst{Op: isa.BNE, Rs1: sigReg, Rs2: scratchReg}, Target: failLabel})
+
+		// Body. Labels of the first item were consumed by the entry code.
+		for pc := blk.Start; pc < blk.End; pc++ {
+			it := p.Items[pc]
+			if pc == blk.Start {
+				it.Labels = nil
+			}
+			isTerm := pc == blk.End-1
+			in := it.Inst
+			if !isTerm || !in.Op.IsControl() {
+				// Before falling through into a multi-pred successor on a
+				// non-designated edge, set D.
+				if isTerm {
+					if ft := blockIndexAt(p, blk.End); ft >= 0 && multiPred(ft) && !isDesig(j, ft) {
+						out = emitLi(out, adjReg, sig[j]^desigSig(ft))
+					}
+				}
+				out = append(out, it)
+				continue
+			}
+			// Terminator is a branch or goto.
+			switch {
+			case in.Op == isa.JAL: // goto
+				t := targetBlock(p, it)
+				if t >= 0 && multiPred(t) && !isDesig(j, t) {
+					out = emitLi(out, adjReg, sig[j]^desigSig(t))
+				}
+				out = append(out, it)
+			default: // conditional branch: taken edge may need a stub
+				ft := blockIndexAt(p, blk.End)
+				if ft >= 0 && multiPred(ft) && !isDesig(j, ft) {
+					out = emitLi(out, adjReg, sig[j]^desigSig(ft))
+				}
+				t := targetBlock(p, it)
+				if t >= 0 && multiPred(t) && !isDesig(j, t) {
+					// split the taken edge: stub sets D then jumps on
+					stub := lbl.next()
+					stubs = append(stubs, isa.Item{Labels: []string{stub},
+						Inst: isa.Inst{Op: isa.ADDI, Rd: adjReg, Rs1: 0, Imm: sig[j] ^ desigSig(t)}})
+					stubs = append(stubs, isa.Item{
+						Inst: isa.Inst{Op: isa.JAL, Rd: 0}, Target: labelForBlock(p, blockLabel, t, it.Target)})
+					it.Target = stub
+				}
+				out = append(out, it)
+			}
+		}
+	}
+	out = append(out, stubs...)
+	return rebuild(p, "cfcss", appendFail(out))
+}
+
+// blockIndexAt maps an original pc to its block index (or -1 past the end).
+func blockIndexAt(p *prog.Program, pc int) int {
+	return p.BlockOf(pc)
+}
+
+// targetBlock resolves a symbolic branch target to its block index.
+func targetBlock(p *prog.Program, it isa.Item) int {
+	if it.Target == "" {
+		return -1
+	}
+	pc, ok := p.Labels[it.Target]
+	if !ok {
+		return -1
+	}
+	return p.BlockOf(pc)
+}
+
+// labelForBlock returns a label that lands on block t's entry
+// instrumentation. The original target label also lands there (entry code
+// carries it), so it is always safe to reuse.
+func labelForBlock(p *prog.Program, blockLabel []string, t int, origTarget string) string {
+	if t >= 0 && t < len(blockLabel) && blockLabel[t] != "" {
+		return blockLabel[t]
+	}
+	return origTarget
+}

@@ -1,0 +1,192 @@
+// Package swres implements the software-level resilience techniques as real
+// program transformations over CRV32 programs: EDDI (error detection by
+// duplicated instructions, with and without store-readback), a selective
+// EDDI variant, CFCSS (control-flow checking by software signatures), and
+// likely-invariant software assertions with data/control variants. Each
+// transform rewrites the symbolic instruction stream, reassembles, and
+// verifies that the protected program still produces the golden output;
+// execution-time overheads (and therefore γ) are measured, not assumed.
+package swres
+
+import (
+	"fmt"
+
+	"clear/internal/isa"
+	"clear/internal/prog"
+)
+
+// Register convention (see internal/bench): benchmarks use r1..r13 and r31.
+// The transforms own the rest:
+//
+//	r14      CFCSS run-time signature G
+//	r15      CFCSS adjuster D / assertion scratch
+//	r16      compare scratch (EDDI readback, CFCSS expected signature)
+//	r17..r29 EDDI shadows of r1..r13
+const (
+	shadowOff  = 16
+	maxBenchRg = 13
+	sigReg     = 14
+	adjReg     = 15
+	scratchReg = 16
+	// assertScratch is the assertion transform's scratch register; it must
+	// not alias the CFCSS adjuster (r15), which is live across blocks.
+	assertScratch = 30
+)
+
+func shadow(r uint8) uint8 {
+	if r >= 1 && r <= maxBenchRg {
+		return r + shadowOff
+	}
+	return r
+}
+
+// rebuild assembles transformed items and verifies semantic preservation:
+// the protected program must still produce the original golden output (no
+// false positives on the error-free run).
+func rebuild(orig *prog.Program, suffix string, items []isa.Item) (*prog.Program, error) {
+	p, err := prog.New(orig.Name+"+"+suffix, items, orig.Data, orig.MemWords)
+	if err != nil {
+		return nil, err
+	}
+	p.Vars = orig.Vars
+	if err := p.ComputeExpected(16_000_000); err != nil {
+		return nil, fmt.Errorf("swres %s: %w", p.Name, err)
+	}
+	if len(p.Expected) != len(orig.Expected) {
+		return nil, fmt.Errorf("swres %s: transform changed output length", p.Name)
+	}
+	for i := range p.Expected {
+		if p.Expected[i] != orig.Expected[i] {
+			return nil, fmt.Errorf("swres %s: transform changed output", p.Name)
+		}
+	}
+	return p, nil
+}
+
+// uniqueLabeler mints fresh labels that cannot collide with program labels.
+type uniqueLabeler struct {
+	prefix string
+	n      int
+}
+
+func (u *uniqueLabeler) next() string {
+	u.n++
+	return fmt.Sprintf("__%s%d", u.prefix, u.n)
+}
+
+// failLabel names the shared detection exit appended to every transformed
+// program: checks branch there on mismatch, so each check costs a single
+// branch instruction on the error-free path.
+const failLabel = "__swfail"
+
+// appendFail terminates a transformed program with the shared TRAPD block.
+// Stacked transforms reuse the block a previous transform appended.
+func appendFail(items []isa.Item) []isa.Item {
+	for _, it := range items {
+		for _, l := range it.Labels {
+			if l == failLabel {
+				return items
+			}
+		}
+	}
+	return append(items, isa.Item{Labels: []string{failLabel}, Inst: isa.Inst{Op: isa.TRAPD}})
+}
+
+// cmpTrap emits: if a != b goto the shared TRAPD block. Comparing a
+// register against itself (unduplicated registers) emits nothing.
+func cmpTrap(items []isa.Item, a, b uint8, lbl *uniqueLabeler) []isa.Item {
+	if a == b {
+		return items
+	}
+	return append(items,
+		isa.Item{Inst: isa.Inst{Op: isa.BNE, Rs1: a, Rs2: b}, Target: failLabel})
+}
+
+// EDDI applies error detection by duplicated instructions: every
+// computational instruction is duplicated into shadow registers, and
+// shadows are compared against primaries before stores, outputs and
+// branches. With storeReadback, every store is read back and compared
+// against the stored value (the [Lin 14] enhancement the paper shows is
+// worth an order of magnitude in SDC improvement).
+func EDDI(p *prog.Program, storeReadback bool) (*prog.Program, error) {
+	return eddi(p, storeReadback, false)
+}
+
+// SelectiveEDDI is an "error detectors"-style variant that keeps the
+// duplicated computation but places comparisons only at program outputs
+// (end results), dropping the store/branch checks: cheaper in checks,
+// markedly lower coverage (corrupted stores and control flow escape).
+func SelectiveEDDI(p *prog.Program) (*prog.Program, error) {
+	return eddi(p, false, true)
+}
+
+func eddi(p *prog.Program, storeReadback, selective bool) (*prog.Program, error) {
+	lbl := &uniqueLabeler{prefix: "ed"}
+
+	var out []isa.Item
+	for _, it := range p.Items {
+		in := it.Inst
+		dup := func() {
+			// Only benchmark data registers are duplicated; instructions
+			// written by other transforms (CFCSS signatures, assertion
+			// scratch) must not be re-executed.
+			if in.Op.WritesReg() && (in.Rd < 1 || in.Rd > maxBenchRg) {
+				return
+			}
+			d := in
+			d.Rd = shadow(in.Rd)
+			d.Rs1 = shadow(in.Rs1)
+			d.Rs2 = shadow(in.Rs2)
+			out = append(out, isa.Item{Inst: d})
+		}
+		// When checks are inserted before a labeled instruction, anchor
+		// the labels on a NOP so jump entries execute the checks too.
+		anchor := func() {
+			if len(it.Labels) > 0 {
+				out = append(out, isa.Item{Labels: it.Labels, Inst: isa.Inst{Op: isa.NOP}})
+				it.Labels = nil
+			}
+		}
+		switch in.Op.Fmt() {
+		case isa.FmtR, isa.FmtI, isa.FmtLUI, isa.FmtLoad:
+			out = append(out, it)
+			dup()
+		case isa.FmtStore:
+			// compare address base and data against shadows, then store
+			if !selective {
+				anchor()
+				out = cmpTrap(out, in.Rs1, shadow(in.Rs1), lbl)
+				out = cmpTrap(out, in.Rs2, shadow(in.Rs2), lbl)
+			}
+			out = append(out, isa.Item{Labels: it.Labels, Inst: in, Target: it.Target})
+			if storeReadback {
+				out = append(out, isa.Item{Inst: isa.Inst{
+					Op: isa.LW, Rd: scratchReg, Rs1: in.Rs1, Imm: in.Imm}})
+				out = cmpTrap(out, scratchReg, in.Rs2, lbl)
+			}
+		case isa.FmtOut:
+			anchor()
+			out = cmpTrap(out, in.Rs1, shadow(in.Rs1), lbl)
+			out = append(out, isa.Item{Inst: in, Target: it.Target})
+		case isa.FmtBranch:
+			if !selective {
+				anchor()
+				out = cmpTrap(out, in.Rs1, shadow(in.Rs1), lbl)
+				out = cmpTrap(out, in.Rs2, shadow(in.Rs2), lbl)
+				out = append(out, isa.Item{Inst: in, Target: it.Target})
+			} else {
+				out = append(out, it)
+			}
+		default:
+			out = append(out, it)
+		}
+	}
+	suffix := "eddi"
+	switch {
+	case selective:
+		suffix = "seddi"
+	case storeReadback:
+		suffix = "eddi-srb"
+	}
+	return rebuild(p, suffix, appendFail(out))
+}

@@ -1,0 +1,290 @@
+package swres
+
+import (
+	"testing"
+
+	"clear/internal/bench"
+	"clear/internal/ino"
+	"clear/internal/isa"
+	"clear/internal/prog"
+)
+
+// execCycles measures in-order-core execution time.
+func execCycles(t *testing.T, p *prog.Program) int {
+	t.Helper()
+	c := ino.New(p)
+	res := c.Run(20_000_000)
+	if res.Status != prog.StatusHalted {
+		t.Fatalf("%s: status %v", p.Name, res.Status)
+	}
+	if !p.OutputsEqual(res.Output) {
+		t.Fatalf("%s: wrong output on pipeline", p.Name)
+	}
+	return res.Steps
+}
+
+func TestEDDIAllBenchmarks(t *testing.T) {
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p := b.MustProgram()
+			tp, err := EDDI(p, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := execCycles(t, p)
+			prot := execCycles(t, tp)
+			overhead := float64(prot)/float64(base) - 1
+			t.Logf("%s: EDDI-srb exec overhead %.0f%%", b.Name, 100*overhead)
+			if overhead < 0.3 {
+				t.Errorf("EDDI overhead %.2f suspiciously low", overhead)
+			}
+			if overhead > 3.5 {
+				t.Errorf("EDDI overhead %.2f suspiciously high", overhead)
+			}
+		})
+	}
+}
+
+func TestCFCSSAllBenchmarks(t *testing.T) {
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p := b.MustProgram()
+			tp, err := CFCSS(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			base := execCycles(t, p)
+			prot := execCycles(t, tp)
+			overhead := float64(prot)/float64(base) - 1
+			t.Logf("%s: CFCSS exec overhead %.0f%%", b.Name, 100*overhead)
+			if overhead <= 0 {
+				t.Errorf("CFCSS added no overhead?")
+			}
+		})
+	}
+}
+
+func TestAssertionsAllBenchmarks(t *testing.T) {
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			p := b.MustProgram()
+			for _, kind := range []AssertKind{AssertData, AssertControl, AssertCombined} {
+				tp, err := Assertions(p, kind)
+				if err != nil {
+					t.Fatalf("%v: %v", kind, err)
+				}
+				base := execCycles(t, p)
+				prot := execCycles(t, tp)
+				// control checks guard loop back-edges only; programs whose
+				// loops close with unconditional jumps legitimately get none
+				if prot <= base && kind != AssertControl {
+					t.Errorf("%v: no overhead added", kind)
+				}
+			}
+		})
+	}
+}
+
+func TestSelectiveEDDICheaper(t *testing.T) {
+	p := bench.ByName("gzip").MustProgram()
+	full, err := EDDI(p, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := SelectiveEDDI(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := execCycles(t, full)
+	cs := execCycles(t, sel)
+	if cs >= cf {
+		t.Fatalf("selective EDDI (%d) should be cheaper than full EDDI (%d)", cs, cf)
+	}
+}
+
+// EDDI must detect a corrupted register value that would otherwise cause an
+// output mismatch.
+func TestEDDIDetectsRegisterCorruption(t *testing.T) {
+	p := bench.ByName("inner_product").MustProgram()
+	tp, err := EDDI(p, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected, omm := 0, 0
+	for step := 40; step < 400; step += 7 {
+		s := prog.NewISS(tp)
+		fired := false
+		at := step
+		s.Hook = func(s *prog.ISS, st int) {
+			if !fired && st == at {
+				s.R[9] ^= 1 << 13 // corrupt the accumulator (primary copy)
+				fired = true
+			}
+		}
+		res := s.Run(8_000_000)
+		switch res.Status {
+		case prog.StatusDetected:
+			detected++
+		case prog.StatusHalted:
+			if !tp.OutputsEqual(res.Output) {
+				omm++
+			}
+		}
+	}
+	t.Logf("EDDI: %d detected, %d escaped as OMM", detected, omm)
+	if detected == 0 {
+		t.Fatal("EDDI detected nothing")
+	}
+	if omm > detected {
+		t.Fatalf("EDDI escaped more than it caught (%d vs %d)", omm, detected)
+	}
+}
+
+// CFCSS must detect control-flow corruption (a wild PC change).
+func TestCFCSSDetectsControlFlowError(t *testing.T) {
+	p := bench.ByName("parser").MustProgram()
+	tp, err := CFCSS(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected, other := 0, 0
+	for step := 50; step < 500; step += 9 {
+		s := prog.NewISS(tp)
+		fired := false
+		at := step
+		s.Hook = func(s *prog.ISS, st int) {
+			if !fired && st == at {
+				s.PC += 17 // wild jump
+				fired = true
+			}
+		}
+		res := s.Run(8_000_000)
+		if res.Status == prog.StatusDetected {
+			detected++
+		} else {
+			other++
+		}
+	}
+	t.Logf("CFCSS: %d detected, %d undetected", detected, other)
+	if detected == 0 {
+		t.Fatal("CFCSS detected no control-flow errors")
+	}
+}
+
+// Assertions must detect out-of-range data corruption at output sites.
+func TestAssertionsDetectRangeViolation(t *testing.T) {
+	p := bench.ByName("perlbmk").MustProgram()
+	tp, err := Assertions(p, AssertCombined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	detected := 0
+	for step := 30; step < 600; step += 11 {
+		s := prog.NewISS(tp)
+		fired := false
+		at := step
+		s.Hook = func(s *prog.ISS, st int) {
+			if !fired && st == at {
+				s.R[9] ^= 1 << 30 // blow the hash accumulator out of range
+				fired = true
+			}
+		}
+		res := s.Run(8_000_000)
+		if res.Status == prog.StatusDetected {
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Fatal("assertions detected nothing")
+	}
+	t.Logf("assertions detected %d corruptions", detected)
+}
+
+// Transforms must compose: CFCSS then assertions then EDDI, still golden.
+func TestTransformComposition(t *testing.T) {
+	p := bench.ByName("mcf").MustProgram()
+	tp, err := CFCSS(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err = Assertions(tp, AssertData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err = EDDI(tp, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	execCycles(t, tp) // verifies golden output on the pipeline
+}
+
+func TestCFCSSRejectsCalls(t *testing.T) {
+	b := isa.NewBuilder()
+	b.Li(5, 1)
+	b.Jal(31, "fn")
+	b.Halt()
+	b.Label("fn")
+	b.Ret(31)
+	p, err := prog.New("call", b.Items(), nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ComputeExpected(1000); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CFCSS(p); err == nil {
+		t.Fatal("CFCSS should reject programs with calls")
+	}
+}
+
+// False positives: assertions trained on one input and run on another can
+// fire on an error-free run; a generous margin suppresses them; training on
+// the evaluation input itself never fires (the paper's final analysis).
+func TestAssertionFalsePositives(t *testing.T) {
+	var tightFired, wideFired int
+	var checks int
+	for _, name := range []string{"bzip2", "crafty", "gzip", "mcf", "parser"} {
+		b := bench.ByName(name)
+		eval := b.MustProgram()
+		alt, err := b.AltProgram()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tight, err := MeasureFalsePositives(eval, alt, AssertCombined, 0, 64)
+		if err != nil {
+			t.Fatalf("%s tight: %v", name, err)
+		}
+		wide, err := MeasureFalsePositives(eval, alt, AssertCombined, 32, 1)
+		if err != nil {
+			t.Fatalf("%s wide: %v", name, err)
+		}
+		self, err := MeasureFalsePositives(eval, eval, AssertCombined, 0, 64)
+		if err != nil {
+			t.Fatalf("%s self: %v", name, err)
+		}
+		if self.Fired {
+			t.Fatalf("%s: self-trained assertions fired on a clean run", name)
+		}
+		if tight.ChecksExecuted == 0 {
+			t.Fatalf("%s: no checks executed", name)
+		}
+		checks += tight.ChecksExecuted
+		if tight.Fired {
+			tightFired++
+		}
+		if wide.Fired {
+			wideFired++
+		}
+	}
+	t.Logf("tight margins: %d/5 benchmarks fired (%d dynamic checks); wide margins: %d/5",
+		tightFired, checks, wideFired)
+	if tightFired == 0 {
+		t.Error("no false positives under tight margins and mismatched inputs; FP machinery inert?")
+	}
+	if wideFired > tightFired {
+		t.Error("widening margins should not increase false positives")
+	}
+}
