@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"log"
 	"sort"
+	"strings"
 
 	"clear/internal/bench"
 	"clear/internal/core"
@@ -25,12 +26,20 @@ func main() {
 	dfc := flag.Bool("dfc", false, "attach the DFC checker")
 	monitor := flag.Bool("monitor", false, "attach the monitor core")
 	top := flag.Int("top", 10, "show the N most vulnerable structures")
+	ckptInterval := flag.Int("ckpt-interval", inject.CheckpointInterval,
+		"cycles between reference checkpoints (0 replays every injection from reset)")
 	flag.Parse()
 
-	kind := inject.InO
-	if *coreName == "OoO" {
+	var kind inject.CoreKind
+	switch strings.ToLower(*coreName) {
+	case "ino":
+		kind = inject.InO
+	case "ooo":
 		kind = inject.OoO
+	default:
+		log.Fatalf("unknown -core %q (accepted: InO, OoO)", *coreName)
 	}
+	inject.CheckpointInterval = *ckptInterval
 	b := bench.ByName(*benchName)
 	if b == nil {
 		log.Fatalf("unknown benchmark %q (have: %v)", *benchName, bench.Names())
@@ -49,6 +58,10 @@ func main() {
 	fmt.Printf("%s / %s / %s: %d injections over %d flip-flops, nominal %d cycles\n",
 		kind, b.Name, v.Tag(), tot.N, len(res.PerFF), res.NomCycles)
 	show := func(name string, n int) {
+		if tot.N == 0 {
+			fmt.Printf("  %-9s %6d\n", name, n)
+			return
+		}
 		p := float64(n) / float64(tot.N)
 		moe := stats.MarginOfError(p, tot.N, 1.96)
 		fmt.Printf("  %-9s %6d  (%.2f%% ± %.2f%%)\n", name, n, 100*p, 100*moe)
@@ -92,6 +105,10 @@ func main() {
 	for i, s := range list {
 		if i >= *top {
 			break
+		}
+		if s.n == 0 {
+			fmt.Printf("  %-28s (no samples)\n", s.name)
+			continue
 		}
 		fmt.Printf("  %-28s SDC %5.1f%%  DUE %5.1f%%\n", s.name,
 			100*float64(s.sdc)/float64(s.n), 100*float64(s.due)/float64(s.n))

@@ -19,7 +19,10 @@ import (
 
 func main() {
 	only := flag.String("only", "", "restrict to a phase: base, ino, ooo, abft")
+	ckptInterval := flag.Int("ckpt-interval", inject.CheckpointInterval,
+		"cycles between reference checkpoints (0 replays every injection from reset)")
 	flag.Parse()
+	inject.CheckpointInterval = *ckptInterval
 	log.SetFlags(log.Ltime)
 	start := time.Now()
 

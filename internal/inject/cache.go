@@ -80,7 +80,13 @@ func Campaign(cfg Config, p *prog.Program, hookFactory func(*prog.Program) sim.C
 		var r Result
 		err := gob.NewDecoder(f).Decode(&r)
 		f.Close()
-		if err == nil && len(r.PerFF) == SpaceBits(cfg.Core) {
+		// A decodable file is trusted only if it demonstrably belongs to
+		// this campaign: the stored Config must equal the requested one and
+		// the result must be internally plausible. A cache-key collision or
+		// a hand-edited file is treated as stale, never silently returned
+		// as another campaign's statistics.
+		if err == nil && r.Config == cfg && r.NomCycles > 0 &&
+			len(r.PerFF) == SpaceBits(cfg.Core) {
 			return &r, nil
 		}
 		// stale or corrupt: fall through and regenerate

@@ -1,0 +1,118 @@
+package inject
+
+import (
+	"clear/internal/prog"
+	"clear/internal/sim"
+)
+
+// CheckpointInterval is the spacing, in cycles, of the fault-free reference
+// snapshots recorded during a campaign's nominal run. Each injection then
+// restores the nearest preceding snapshot and steps at most
+// CheckpointInterval-1 cycles to reach its injection point instead of
+// replaying from reset, and the same snapshots drive convergence pruning
+// (see RunOneFrom). Smaller intervals cut more warm-up cycles but cost more
+// snapshot memory; 0 disables checkpointing entirely (every injection
+// replays from reset, the pre-checkpoint behavior).
+//
+// The interval only affects campaign running time: results are bit-for-bit
+// identical for any value, so it is deliberately not part of Config and
+// does not key the on-disk campaign cache. The default suits this repo's
+// workloads (nominal runs of a few hundred to a few thousand cycles); scale
+// it with nominal length for longer programs.
+var CheckpointInterval = 256
+
+// Reference is the fault-free trajectory of one (core, program) pair:
+// snapshots taken every Interval cycles during the nominal run. Ckpts[i]
+// holds the state at cycle i*Interval; the last snapshot precedes the
+// nominal halt. References are immutable and shared read-only by the
+// campaign worker goroutines.
+type Reference struct {
+	Interval int
+	Ckpts    []*sim.Checkpoint
+}
+
+// BuildReference performs the fault-free run of p on a fresh core of kind k,
+// snapshotting every interval cycles (including cycle 0), and returns the
+// reference trajectory together with the nominal run's result. The result is
+// exactly what Core.Run(maxCycles) on a fresh core would report.
+func BuildReference(k CoreKind, p *prog.Program, interval, maxCycles int) (*Reference, prog.Result) {
+	ref, res, _ := buildReferenceCore(k, p, interval, maxCycles)
+	return ref, res
+}
+
+// buildReferenceCore is BuildReference, also exposing the finished nominal
+// core (the campaign records its retired-instruction count).
+func buildReferenceCore(k CoreKind, p *prog.Program, interval, maxCycles int) (*Reference, prog.Result, sim.Core) {
+	c := NewCore(k, p)
+	ref := &Reference{Interval: interval}
+	for !c.Done() && c.Cycles() < maxCycles {
+		if c.Cycles()%interval == 0 {
+			ref.Ckpts = append(ref.Ckpts, c.Snapshot())
+		}
+		c.Step()
+	}
+	if !c.Done() {
+		return ref, prog.Result{Status: prog.StatusMaxSteps, Output: c.Output(), Steps: c.Cycles()}, c
+	}
+	return ref, c.Result(), c
+}
+
+// RunOneFrom performs a single injection like RunOne but warm-starts from
+// the reference trajectory: it restores the nearest snapshot at or before
+// the injection cycle, steps the remaining cycle-mod-interval cycles, flips
+// the bit, and runs to completion with convergence pruning — at every
+// checkpoint boundary the injected state is compared against the fault-free
+// snapshot for the same cycle, and an exact match ends the run immediately
+// as Vanished (two bit-identical states of a deterministic core share the
+// same future, and the reference future halts with the golden output).
+//
+// The returned (Outcome, detectCycle) is identical to RunOne's for the same
+// (bit, cycle): restoring reproduces the exact pre-injection state, and
+// pruning only replaces a suffix whose outcome is already decided. Runs that
+// carry a commit hook fall back to RunOne — hook-internal state cannot be
+// checkpointed, so they keep the exact from-reset path.
+func RunOneFrom(c sim.Core, p *prog.Program, ref *Reference, bit, cycle, nomCycles int,
+	hookFactory func(*prog.Program) sim.CommitHook) (Outcome, int) {
+	if hookFactory != nil || ref == nil || ref.Interval <= 0 || len(ref.Ckpts) == 0 {
+		return RunOne(c, p, bit, cycle, nomCycles, hookFactory)
+	}
+	idx := cycle / ref.Interval
+	if idx >= len(ref.Ckpts) {
+		idx = len(ref.Ckpts) - 1
+	}
+	c.Restore(ref.Ckpts[idx])
+	c.SetCommitHook(nil)
+	for c.Cycles() < cycle && !c.Done() {
+		c.Step()
+	}
+	c.State().FlipBit(bit)
+	budget := HangFactor * nomCycles
+	for !c.Done() && c.Cycles() < budget {
+		next := (c.Cycles()/ref.Interval + 1) * ref.Interval
+		if next > budget {
+			next = budget
+		}
+		for !c.Done() && c.Cycles() < next {
+			c.Step()
+		}
+		if c.Done() {
+			break
+		}
+		if i := c.Cycles() / ref.Interval; c.Cycles()%ref.Interval == 0 && i < len(ref.Ckpts) &&
+			c.Matches(ref.Ckpts[i]) {
+			return Vanished, -1
+		}
+	}
+	var res prog.Result
+	if c.Done() {
+		res = c.Result()
+	} else {
+		res = prog.Result{Status: prog.StatusMaxSteps, Output: c.Output(), Steps: c.Cycles()}
+	}
+	out := Classify(p, res)
+	det := -1
+	if out == ED {
+		det = res.Steps
+	}
+	return out, det
+}

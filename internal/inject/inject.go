@@ -15,6 +15,7 @@ package inject
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 
@@ -239,18 +240,41 @@ func splitmix64(x uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// nomBudget is the cycle budget of a campaign's nominal (fault-free) run.
+const nomBudget = 8_000_000
+
 // Run executes a campaign: SamplesPerFF uniform-random cycles for every
 // flip-flop bit. The program may be a transformed (software-protected)
 // variant; hookFactory attaches an architecture-level checker.
+//
+// Hookless campaigns amortize simulation work through the fault-free
+// reference trajectory (see CheckpointInterval and RunOneFrom): each
+// injection warm-starts from the nearest snapshot and prunes as soon as its
+// state reconverges with the reference. Results are bit-for-bit identical
+// to the from-reset path for a fixed Config.Seed.
 func Run(cfg Config, p *prog.Program, hookFactory func(*prog.Program) sim.CommitHook) (*Result, error) {
 	if p.Expected == nil {
 		return nil, fmt.Errorf("inject: %s has no golden output", p.Name)
 	}
-	nom := NewCore(cfg.Core, p)
-	if hookFactory != nil {
-		nom.SetCommitHook(hookFactory(p))
+	if cfg.SamplesPerFF < 0 || cfg.SamplesPerFF > math.MaxUint16 {
+		return nil, fmt.Errorf("inject: SamplesPerFF %d outside the per-FF counter range [0, %d]",
+			cfg.SamplesPerFF, math.MaxUint16)
 	}
-	nomRes := nom.Run(8_000_000)
+	var ref *Reference
+	var nomRes prog.Result
+	var nomRet int64
+	if hookFactory == nil && CheckpointInterval > 0 {
+		var nomC sim.Core
+		ref, nomRes, nomC = buildReferenceCore(cfg.Core, p, CheckpointInterval, nomBudget)
+		nomRet = nomC.Retired()
+	} else {
+		nom := NewCore(cfg.Core, p)
+		if hookFactory != nil {
+			nom.SetCommitHook(hookFactory(p))
+		}
+		nomRes = nom.Run(nomBudget)
+		nomRet = nom.Retired()
+	}
 	if nomRes.Status != prog.StatusHalted || !p.OutputsEqual(nomRes.Output) {
 		return nil, fmt.Errorf("inject: nominal run of %s/%s failed: %v", cfg.Bench, cfg.Tag, nomRes.Status)
 	}
@@ -260,7 +284,7 @@ func Run(cfg Config, p *prog.Program, hookFactory func(*prog.Program) sim.Commit
 	res := &Result{
 		Config:    cfg,
 		NomCycles: nomCycles,
-		NomRet:    nom.Retired(),
+		NomRet:    nomRet,
 		PerFF:     make([]FFStats, nBits),
 	}
 
@@ -285,7 +309,7 @@ func Run(cfg Config, p *prog.Program, hookFactory func(*prog.Program) sim.Commit
 					for s := 0; s < cfg.SamplesPerFF; s++ {
 						h := splitmix64(cfg.Seed ^ uint64(bit)<<20 ^ uint64(s))
 						cycle := int(h % uint64(nomCycles))
-						out, det := RunOne(core, p, bit, cycle, nomCycles, hookFactory)
+						out, det := RunOneFrom(core, p, ref, bit, cycle, nomCycles, hookFactory)
 						if out == ED && det >= cycle {
 							latSum += int64(det - cycle)
 							latN++

@@ -24,6 +24,28 @@ type CommitEvent struct {
 // prog.StatusDetected.
 type CommitHook func(ev CommitEvent) bool
 
+// Checkpoint is a complete capture of a core's simulation state at a clock
+// boundary: flip-flop bits, architectural register file, data memory, the
+// output stream emitted so far, and the cycle/retired counters. Extra holds
+// core-specific microarchitectural state outside the flip-flop space
+// (e.g. predictor and cache-tag SRAMs) so that restoring a checkpoint
+// reproduces the exact cycle-by-cycle future of the captured run.
+//
+// A Checkpoint is bound to the (core design, program) pair it was taken
+// from; restoring it into a core bound to a different program is undefined.
+// Checkpoints are immutable once taken and safe to share across goroutines.
+type Checkpoint struct {
+	FF      *ff.State
+	Regs    [32]uint32
+	Mem     []uint32
+	Out     []uint32
+	Cycles  int
+	Retired int64
+	Done    bool
+	Status  prog.Status
+	Extra   any // core-specific non-flip-flop state (SRAM structures)
+}
+
 // Core is a cycle-level processor core with flip-flop-resolution state.
 type Core interface {
 	// Reset rebinds the core to p and clears all state.
@@ -49,4 +71,14 @@ type Core interface {
 	Output() []uint32
 	// SetCommitHook installs an architecture-level commit observer.
 	SetCommitHook(h CommitHook)
+	// Snapshot captures the full simulation state at the current cycle.
+	Snapshot() *Checkpoint
+	// Restore rewinds the core to a previously captured checkpoint taken
+	// from the same (design, program) pair. The installed commit hook is
+	// left untouched.
+	Restore(ck *Checkpoint)
+	// Matches reports whether the core's current state is bit-for-bit
+	// identical to the checkpoint, without allocating. Two identical states
+	// provably share the same deterministic future.
+	Matches(ck *Checkpoint) bool
 }
