@@ -3,19 +3,27 @@
 // combination's achieved improvements and costs plus the Pareto-optimal
 // set — the sweep behind the paper's Fig. 1d and its "which cross-layer
 // solutions are best" conclusions.
+//
+// The exploration itself lives in internal/sweep: cells run concurrently
+// on a work-stealing pool (-workers), and -state points at a JSON file
+// that makes the sweep resumable — an interrupted run picks up from its
+// completed cells. A failing cell no longer aborts the sweep; failures are
+// reported in the summary and make the exit status non-zero.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math"
-	"sort"
-	"time"
+	"os"
+	"strings"
 
 	"clear/internal/bench"
 	"clear/internal/core"
 	"clear/internal/inject"
+	"clear/internal/sweep"
 )
 
 func main() {
@@ -24,11 +32,18 @@ func main() {
 	benchName := flag.String("bench", "", "evaluate on a single benchmark (default: average all)")
 	topN := flag.Int("top", 25, "print the N cheapest combinations")
 	quick := flag.Bool("quick", false, "reduced sampling")
+	workers := flag.Int("workers", 0, "concurrent cell evaluations (0 = one per CPU)")
+	statePath := flag.String("state", "", "sweep state file for interrupt/resume (empty = no persistence)")
 	flag.Parse()
 
-	kind := inject.InO
-	if *coreName == "OoO" {
+	var kind inject.CoreKind
+	switch strings.ToLower(*coreName) {
+	case "ino":
+		kind = inject.InO
+	case "ooo":
 		kind = inject.OoO
+	default:
+		log.Fatalf("unknown -core %q (accepted: InO, OoO)", *coreName)
 	}
 	e := core.NewEngine(kind)
 	if *quick {
@@ -43,87 +58,52 @@ func main() {
 	if *benchName != "" {
 		b := bench.ByName(*benchName)
 		if b == nil {
-			log.Fatalf("unknown benchmark %q", *benchName)
+			log.Fatalf("unknown benchmark %q (have: %v)", *benchName, bench.Names())
 		}
 		benches = []*bench.Benchmark{b}
-	} else {
-		benches = e.Benchmarks()
 	}
 
-	var rows []sweepRow
-	t0 := time.Now()
-	combos := core.Enumerate(kind)
+	sw := sweep.New(e, benches, core.SDC, tgt)
 	log.Printf("evaluating %d combinations on %d benchmark(s) at %sx SDC target...",
-		len(combos), len(benches), fmtTarget(tgt))
-	for i, c := range combos {
-		var sdcInv, dueInv, energy, area float64
-		met := true
-		n := 0
-		for _, b := range benches {
-			out, err := e.EvalCombo(b, c, core.SDC, tgt)
-			if err != nil {
-				log.Fatalf("%s: %v", c.Name(), err)
-			}
-			sdcInv += inv(out.SDCImp)
-			dueInv += inv(out.DUEImp)
-			energy += out.Cost.Energy()
-			area += out.Cost.Area
-			met = met && out.TargetMet
-			n++
-		}
-		fn := float64(n)
-		rows = append(rows, sweepRow{
-			name:   c.Name(),
-			sdcImp: fn / sdcInv, dueImp: fn / dueInv,
-			energy: energy / fn, area: area / fn,
-			met: met,
-		})
-		if (i+1)%50 == 0 {
-			log.Printf("  %d/%d done (%s elapsed)", i+1, len(combos), time.Since(t0).Round(time.Second))
-		}
+		len(sw.Combos), len(sw.Benches), fmtTarget(tgt))
+	res, err := sweep.Run(context.Background(), sw, sweep.Options{
+		Workers:   *workers,
+		StatePath: *statePath,
+		Observer:  sweep.LogObserver{Printf: log.Printf},
+	})
+	if err != nil {
+		log.Fatalf("sweep: %v", err)
 	}
 
-	sort.Slice(rows, func(i, j int) bool { return rows[i].energy < rows[j].energy })
 	fmt.Printf("\ncheapest combinations meeting a %sx SDC target on %s:\n", fmtTarget(tgt), kind)
 	fmt.Printf("%-58s %10s %10s %8s %8s %s\n", "combination", "SDC imp", "DUE imp", "area", "energy", "met")
-	printed := 0
-	for _, r := range rows {
-		if !r.met {
+	printed, met := 0, 0
+	for _, r := range res.Rows {
+		if !r.Met {
+			continue
+		}
+		met++
+		if printed >= *topN {
 			continue
 		}
 		fmt.Printf("%-58s %10s %10s %7.1f%% %7.1f%% %v\n",
-			r.name, fmtImp(r.sdcImp), fmtImp(r.dueImp), 100*r.area, 100*r.energy, r.met)
+			r.Name, fmtImp(r.SDCImp), fmtImp(r.DUEImp), 100*r.Area, 100*r.Energy, r.Met)
 		printed++
-		if printed >= *topN {
-			break
+	}
+
+	fmt.Printf("\nPareto frontier (SDC improvement vs energy), %d points:\n", len(res.Frontier))
+	for _, p := range res.Frontier {
+		fmt.Printf("  %-58s %10s %7.1f%%\n", p.Name, fmtImp(p.Improvement), 100*p.Energy)
+	}
+
+	fmt.Printf("\n%d of %d combinations met the target\n", met, len(res.Rows))
+	if n := len(res.Failures); n > 0 {
+		fmt.Printf("\n%d cell(s) FAILED:\n", n)
+		for _, f := range res.Failures {
+			fmt.Printf("  %s / %s: %s\n", f.Combo, f.Bench, f.Err)
 		}
+		os.Exit(1)
 	}
-	fmt.Printf("\n%d of %d combinations met the target; total sweep time %s\n",
-		countMet(rows), len(rows), time.Since(t0).Round(time.Second))
-}
-
-func inv(v float64) float64 {
-	if math.IsInf(v, 1) || v <= 0 {
-		return 1e-9
-	}
-	return 1 / v
-}
-
-type sweepRow struct {
-	name           string
-	sdcImp, dueImp float64
-	energy, area   float64
-	met            bool
-}
-
-func countMet(rows []sweepRow) int {
-	n := 0
-	for _, r := range rows {
-		if r.met {
-			n++
-		}
-	}
-	return n
 }
 
 func fmtTarget(v float64) string {

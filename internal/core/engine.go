@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"clear/internal/abft"
 	"clear/internal/archres"
@@ -24,6 +25,7 @@ import (
 	"clear/internal/power"
 	"clear/internal/prog"
 	"clear/internal/sim"
+	"clear/internal/singleflight"
 	"clear/internal/swres"
 )
 
@@ -71,10 +73,48 @@ type Engine struct {
 	SamplesTech int
 	Seed        uint64
 
+	// Finished-result memo maps (guarded by mu) paired with singleflight
+	// groups: concurrent callers asking for the same uncomputed campaign,
+	// program, or overhead join one in-flight computation instead of
+	// silently running the same multi-second work twice.
 	mu        sync.Mutex
 	campaigns map[string]*inject.Result
 	overheads map[string]float64
 	programs  map[string]*prog.Program
+
+	campaignSF singleflight.Group[*inject.Result]
+	programSF  singleflight.Group[*prog.Program]
+	overheadSF singleflight.Group[float64]
+
+	statCampaignsRun    atomic.Int64
+	statCampaignsCached atomic.Int64
+	statCampaignsJoined atomic.Int64
+	statProgramsBuilt   atomic.Int64
+	statOverheadsRun    atomic.Int64
+}
+
+// EngineStats is a snapshot of the engine's memoization counters: how many
+// campaigns were actually computed, how many were served from the in-memory
+// memo, and how many concurrent callers were deduplicated onto another
+// caller's in-flight computation. A sweep observer reads successive
+// snapshots to report cache effectiveness.
+type EngineStats struct {
+	CampaignsRun    int64 // campaigns computed (inject.Campaign invoked)
+	CampaignsCached int64 // served from the in-memory memo map
+	CampaignsJoined int64 // joined another caller's in-flight campaign
+	ProgramsBuilt   int64 // transformed programs constructed
+	OverheadsRun    int64 // exec-overhead measurements computed
+}
+
+// Stats returns a snapshot of the engine's memoization counters.
+func (e *Engine) Stats() EngineStats {
+	return EngineStats{
+		CampaignsRun:    e.statCampaignsRun.Load(),
+		CampaignsCached: e.statCampaignsCached.Load(),
+		CampaignsJoined: e.statCampaignsJoined.Load(),
+		ProgramsBuilt:   e.statProgramsBuilt.Load(),
+		OverheadsRun:    e.statOverheadsRun.Load(),
+	}
 }
 
 // NewEngine returns an engine for the given core with default sampling.
@@ -189,6 +229,30 @@ func (e *Engine) BuildProgram(b *bench.Benchmark, v Variant) (*prog.Program, err
 		return p, nil
 	}
 	e.mu.Unlock()
+	p, err, _ := e.programSF.Do(key, func() (*prog.Program, error) {
+		// Re-check under the flight: a caller that missed the memo right
+		// before another flight finished must not rebuild.
+		e.mu.Lock()
+		if p, ok := e.programs[key]; ok {
+			e.mu.Unlock()
+			return p, nil
+		}
+		e.mu.Unlock()
+		p, err := e.buildProgramUncached(b, v)
+		if err != nil {
+			return nil, err
+		}
+		e.statProgramsBuilt.Add(1)
+		e.mu.Lock()
+		e.programs[key] = p
+		e.mu.Unlock()
+		return p, nil
+	})
+	return p, err
+}
+
+// buildProgramUncached performs the actual program transformation stack.
+func (e *Engine) buildProgramUncached(b *bench.Benchmark, v Variant) (*prog.Program, error) {
 	var p *prog.Program
 	var err error
 	switch {
@@ -240,9 +304,6 @@ func (e *Engine) BuildProgram(b *bench.Benchmark, v Variant) (*prog.Program, err
 			return nil, err
 		}
 	}
-	e.mu.Lock()
-	e.programs[key] = p
-	e.mu.Unlock()
 	return p, nil
 }
 
@@ -275,39 +336,54 @@ func (v Variant) hookFactory() func(*prog.Program) sim.CommitHook {
 }
 
 // Campaign runs (or loads) the injection campaign for a benchmark under a
-// variant.
+// variant. Concurrent callers asking for the same (benchmark, variant) are
+// deduplicated: the campaign is computed exactly once and shared.
 func (e *Engine) Campaign(b *bench.Benchmark, v Variant) (*inject.Result, error) {
 	key := b.Name + "|" + v.Tag()
 	e.mu.Lock()
 	if r, ok := e.campaigns[key]; ok {
 		e.mu.Unlock()
+		e.statCampaignsCached.Add(1)
 		return r, nil
 	}
 	e.mu.Unlock()
-	p, err := e.BuildProgram(b, v)
-	if err != nil {
-		return nil, err
+	r, err, joined := e.campaignSF.Do(key, func() (*inject.Result, error) {
+		e.mu.Lock()
+		if r, ok := e.campaigns[key]; ok {
+			e.mu.Unlock()
+			return r, nil
+		}
+		e.mu.Unlock()
+		p, err := e.BuildProgram(b, v)
+		if err != nil {
+			return nil, err
+		}
+		tag := v.Tag()
+		samples := e.SamplesTech
+		if tag == "base" {
+			samples = e.SamplesBase
+		}
+		cfg := inject.Config{
+			Core:         e.Kind,
+			Bench:        b.Name,
+			Tag:          tag,
+			SamplesPerFF: samples,
+			Seed:         e.Seed,
+		}
+		r, err := inject.Campaign(cfg, p, v.hookFactory())
+		if err != nil {
+			return nil, err
+		}
+		e.statCampaignsRun.Add(1)
+		e.mu.Lock()
+		e.campaigns[key] = r
+		e.mu.Unlock()
+		return r, nil
+	})
+	if joined {
+		e.statCampaignsJoined.Add(1)
 	}
-	tag := v.Tag()
-	samples := e.SamplesTech
-	if tag == "base" {
-		samples = e.SamplesBase
-	}
-	cfg := inject.Config{
-		Core:         e.Kind,
-		Bench:        b.Name,
-		Tag:          tag,
-		SamplesPerFF: samples,
-		Seed:         e.Seed,
-	}
-	r, err := inject.Campaign(cfg, p, v.hookFactory())
-	if err != nil {
-		return nil, err
-	}
-	e.mu.Lock()
-	e.campaigns[key] = r
-	e.mu.Unlock()
-	return r, nil
+	return r, err
 }
 
 // Base returns the baseline (unprotected) campaign for a benchmark.
@@ -316,7 +392,9 @@ func (e *Engine) Base(b *bench.Benchmark) (*inject.Result, error) {
 }
 
 // ExecOverhead measures the error-free execution-time overhead of a variant
-// relative to the unprotected benchmark on this core.
+// relative to the unprotected benchmark on this core. Results — including
+// the zero overhead of an untransformed variant — are memoized, and
+// concurrent callers share one in-flight measurement.
 func (e *Engine) ExecOverhead(b *bench.Benchmark, v Variant) (float64, error) {
 	key := b.Name + "|" + v.Tag()
 	e.mu.Lock()
@@ -325,25 +403,35 @@ func (e *Engine) ExecOverhead(b *bench.Benchmark, v Variant) (float64, error) {
 		return ov, nil
 	}
 	e.mu.Unlock()
-	base, err := b.Program()
-	if err != nil {
-		return 0, err
-	}
-	p, err := e.BuildProgram(b, v)
-	if err != nil {
-		return 0, err
-	}
-	if p == base {
-		return 0, nil
-	}
-	r0 := inject.NewCore(e.Kind, base).Run(20_000_000)
-	r1 := inject.NewCore(e.Kind, p).Run(20_000_000)
-	if r0.Status != prog.StatusHalted || r1.Status != prog.StatusHalted {
-		return 0, fmt.Errorf("core: exec overhead run failed for %s/%s", b.Name, v.Tag())
-	}
-	ov := float64(r1.Steps)/float64(r0.Steps) - 1
-	e.mu.Lock()
-	e.overheads[key] = ov
-	e.mu.Unlock()
-	return ov, nil
+	ov, err, _ := e.overheadSF.Do(key, func() (float64, error) {
+		e.mu.Lock()
+		if ov, ok := e.overheads[key]; ok {
+			e.mu.Unlock()
+			return ov, nil
+		}
+		e.mu.Unlock()
+		base, err := b.Program()
+		if err != nil {
+			return 0, err
+		}
+		p, err := e.BuildProgram(b, v)
+		if err != nil {
+			return 0, err
+		}
+		ov := 0.0
+		if p != base {
+			r0 := inject.NewCore(e.Kind, base).Run(20_000_000)
+			r1 := inject.NewCore(e.Kind, p).Run(20_000_000)
+			if r0.Status != prog.StatusHalted || r1.Status != prog.StatusHalted {
+				return 0, fmt.Errorf("core: exec overhead run failed for %s/%s", b.Name, v.Tag())
+			}
+			ov = float64(r1.Steps)/float64(r0.Steps) - 1
+			e.statOverheadsRun.Add(1)
+		}
+		e.mu.Lock()
+		e.overheads[key] = ov
+		e.mu.Unlock()
+		return ov, nil
+	})
+	return ov, err
 }

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"clear/internal/bench"
+	"clear/internal/inject"
+)
+
+// TestCampaignExactlyOnceConcurrent is the singleflight guarantee: N
+// concurrent callers asking for the same (benchmark, variant) campaign
+// must trigger exactly one computation — the others join it or hit the
+// memo — and all observe the same result. Run under -race in CI.
+func TestCampaignExactlyOnceConcurrent(t *testing.T) {
+	e := testEngine(t)
+	b := bench.ByName("inner_product")
+	v := Variant{}
+
+	const n = 16
+	var wg sync.WaitGroup
+	results := make([]*inject.Result, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = e.Campaign(b, v)
+		}(i)
+	}
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if results[i] != results[0] {
+			t.Fatalf("caller %d observed a different result pointer", i)
+		}
+	}
+	st := e.Stats()
+	if st.CampaignsRun != 1 {
+		t.Fatalf("campaign ran %d times under %d concurrent callers, want exactly 1", st.CampaignsRun, n)
+	}
+	if st.CampaignsJoined+st.CampaignsCached != n-1 {
+		t.Fatalf("joined=%d cached=%d, want them to account for the other %d callers",
+			st.CampaignsJoined, st.CampaignsCached, n-1)
+	}
+
+	// A later caller is a pure memo hit.
+	if _, err := e.Campaign(b, v); err != nil {
+		t.Fatal(err)
+	}
+	st = e.Stats()
+	if st.CampaignsRun != 1 {
+		t.Fatalf("sequential re-request recomputed the campaign (run=%d)", st.CampaignsRun)
+	}
+}
+
+// TestCampaignConcurrentDistinctVariants checks that dedup never conflates
+// different campaigns: concurrent callers over distinct variants compute
+// one campaign each.
+func TestCampaignConcurrentDistinctVariants(t *testing.T) {
+	e := testEngine(t)
+	b := bench.ByName("inner_product")
+	variants := []Variant{
+		{},
+		{DFC: true},
+	}
+	const callersPer = 4
+	var wg sync.WaitGroup
+	for i := 0; i < callersPer*len(variants); i++ {
+		v := variants[i%len(variants)]
+		wg.Add(1)
+		go func(v Variant) {
+			defer wg.Done()
+			if _, err := e.Campaign(b, v); err != nil {
+				t.Errorf("campaign %q: %v", v.Tag(), err)
+			}
+		}(v)
+	}
+	wg.Wait()
+	if st := e.Stats(); st.CampaignsRun != int64(len(variants)) {
+		t.Fatalf("campaigns run = %d, want %d (one per distinct variant)", st.CampaignsRun, len(variants))
+	}
+}
+
+// TestExecOverheadBaseCached pins the memoization of the untransformed
+// variant's zero overhead: the historical code returned early without
+// storing it, so every call re-entered BuildProgram.
+func TestExecOverheadBaseCached(t *testing.T) {
+	e := testEngine(t)
+	b := bench.ByName("inner_product")
+	ov, err := e.ExecOverhead(b, Variant{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ov != 0 {
+		t.Fatalf("base variant overhead = %v, want 0", ov)
+	}
+	e.mu.Lock()
+	_, cached := e.overheads[b.Name+"|base"]
+	e.mu.Unlock()
+	if !cached {
+		t.Fatal("base-variant overhead not stored in the memo map")
+	}
+	if _, err := e.ExecOverhead(b, Variant{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"clear/internal/inject"
 	"clear/internal/power"
 	"clear/internal/recovery"
+	"clear/internal/sweep"
 	"clear/internal/swres"
 )
 
@@ -379,7 +381,9 @@ func fig10(ctx *Ctx) (string, error) {
 // combinations on the (percent SDC-causing errors protected, energy cost)
 // plane. Multi-technique high-layer coverage is composed per flip-flop
 // assuming independent detection (documented approximation; the headline
-// tables use exact measured stacks).
+// tables use exact measured stacks). The per-combination composition runs
+// on the shared work-stealing pool (results stored by index, so the output
+// is identical to the serial order).
 func fig1d(ctx *Ctx) (string, error) {
 	type point struct {
 		name      string
@@ -394,12 +398,16 @@ func fig1d(ctx *Ctx) (string, error) {
 		if err != nil {
 			return "", err
 		}
-		for _, c := range core.Enumerate(kind) {
-			for _, tgt := range targets {
+		combos := core.Enumerate(kind)
+		pts := make([]point, len(combos)*len(targets))
+		sweep.ForEach(context.Background(), len(combos), 0, func(i int) {
+			c := combos[i]
+			for j, tgt := range targets {
 				p, en := fig1dPoint(e, agg, parts, c, tgt)
-				points = append(points, point{c.Name(), kind, p, en})
+				pts[i*len(targets)+j] = point{c.Name(), kind, p, en}
 			}
-		}
+		})
+		points = append(points, pts...)
 	}
 	// Summarize: per protection decile, the cheapest combinations.
 	t := newTable("Figure 1d: 586 combinations x 5 targets (energy vs %SDC protected)",
@@ -428,6 +436,22 @@ func fig1d(ctx *Ctx) (string, error) {
 				fmt.Sprintf("%.0f-%.0f%%", 100*lo, 100*hi),
 				fmt.Sprintf("%d", len(es)),
 				pct(es[0]), pct(es[len(es)/2]), best)
+		}
+	}
+	// Pareto frontier per core through the shared utility: the cheapest
+	// combinations at each protection level (the boundary of the scatter).
+	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
+		var pp []core.ParetoPoint
+		for _, p := range points {
+			if p.kind == kind {
+				pp = append(pp, core.ParetoPoint{Name: p.name, Improvement: p.protected, Energy: p.energy})
+			}
+		}
+		frontier := core.ParetoFrontier(pp)
+		t.row("", "", "", "", "", "")
+		t.row(kind.String()+" Pareto frontier", fmt.Sprintf("%d points", len(frontier)), "", "", "", "")
+		for _, f := range frontier {
+			t.row("", pct(f.Improvement)+" protected", "", pct(f.Energy), "", f.Name)
 		}
 	}
 	t.row("", "", "", "", "", "")

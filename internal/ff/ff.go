@@ -16,6 +16,7 @@ package ff
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // Space is a registry of named flip-flop fields plus their backing bits.
@@ -25,7 +26,9 @@ type Space struct {
 	fields []fieldInfo
 	byName map[string]int
 	nbits  int
-	frozen bool
+	// frozen flips exactly once, at the first NewState/Freeze; it is
+	// atomic because shared spaces hand out states from many goroutines.
+	frozen atomic.Bool
 }
 
 type fieldInfo struct {
@@ -51,7 +54,7 @@ type Field struct {
 // Alloc panics on duplicate names, invalid widths, or if the space is
 // frozen: core construction is programmer-controlled, so these are bugs.
 func (s *Space) Alloc(unit, name string, width int) Field {
-	if s.frozen {
+	if s.frozen.Load() {
 		panic("ff: Alloc after Freeze")
 	}
 	if width <= 0 || width > 64 {
@@ -68,7 +71,7 @@ func (s *Space) Alloc(unit, name string, width int) Field {
 }
 
 // Freeze marks the space complete; further Alloc calls panic.
-func (s *Space) Freeze() { s.frozen = true }
+func (s *Space) Freeze() { s.frozen.Store(true) }
 
 // NumBits reports the total number of flip-flops (bits) in the space.
 func (s *Space) NumBits() int { return s.nbits }
@@ -152,7 +155,7 @@ type State struct {
 // NewState returns an all-zero state sized for the space. The space is
 // frozen as a side effect: states must never be outlived by new fields.
 func (s *Space) NewState() *State {
-	s.frozen = true
+	s.frozen.Store(true)
 	return &State{words: make([]uint64, (s.nbits+63)/64)}
 }
 

@@ -102,9 +102,10 @@ func Campaign(cfg Config, p *prog.Program, hookFactory func(*prog.Program) sim.C
 			encErr := gob.NewEncoder(tmp).Encode(r)
 			name := tmp.Name()
 			tmp.Close()
-			if encErr == nil {
-				os.Rename(name, path)
-			} else {
+			// Caching is best-effort: on any failure (encode or rename) the
+			// temp file is removed and the freshly computed result is
+			// returned; the campaign simply re-runs next time.
+			if encErr != nil || os.Rename(name, path) != nil {
 				os.Remove(name)
 			}
 		}

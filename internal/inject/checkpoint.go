@@ -1,6 +1,9 @@
 package inject
 
 import (
+	"fmt"
+	"sync/atomic"
+
 	"clear/internal/prog"
 	"clear/internal/sim"
 )
@@ -34,15 +37,19 @@ type Reference struct {
 // BuildReference performs the fault-free run of p on a fresh core of kind k,
 // snapshotting every interval cycles (including cycle 0), and returns the
 // reference trajectory together with the nominal run's result. The result is
-// exactly what Core.Run(maxCycles) on a fresh core would report.
-func BuildReference(k CoreKind, p *prog.Program, interval, maxCycles int) (*Reference, prog.Result) {
-	ref, res, _ := buildReferenceCore(k, p, interval, maxCycles)
-	return ref, res
+// exactly what Core.Run(maxCycles) on a fresh core would report. A
+// non-positive interval is rejected (it cannot space snapshots).
+func BuildReference(k CoreKind, p *prog.Program, interval, maxCycles int) (*Reference, prog.Result, error) {
+	ref, res, _, err := buildReferenceCore(k, p, interval, maxCycles)
+	return ref, res, err
 }
 
 // buildReferenceCore is BuildReference, also exposing the finished nominal
 // core (the campaign records its retired-instruction count).
-func buildReferenceCore(k CoreKind, p *prog.Program, interval, maxCycles int) (*Reference, prog.Result, sim.Core) {
+func buildReferenceCore(k CoreKind, p *prog.Program, interval, maxCycles int) (*Reference, prog.Result, sim.Core, error) {
+	if interval <= 0 {
+		return nil, prog.Result{}, nil, fmt.Errorf("inject: checkpoint interval %d must be positive", interval)
+	}
 	c := NewCore(k, p)
 	ref := &Reference{Interval: interval}
 	for !c.Done() && c.Cycles() < maxCycles {
@@ -52,9 +59,24 @@ func buildReferenceCore(k CoreKind, p *prog.Program, interval, maxCycles int) (*
 		c.Step()
 	}
 	if !c.Done() {
-		return ref, prog.Result{Status: prog.StatusMaxSteps, Output: c.Output(), Steps: c.Cycles()}, c
+		return ref, prog.Result{Status: prog.StatusMaxSteps, Output: c.Output(), Steps: c.Cycles()}, c, nil
 	}
-	return ref, c.Result(), c
+	return ref, c.Result(), c, nil
+}
+
+// Injection counters: total injections performed and how many of them were
+// cut short by convergence pruning (state match against the fault-free
+// reference). Monotonic process-wide atomics; a sweep observer reads
+// successive snapshots to report the prune rate.
+var (
+	injTotal  atomic.Int64
+	injPruned atomic.Int64
+)
+
+// PruneStats returns the process-wide injection counters: how many
+// injections ran and how many ended early through convergence pruning.
+func PruneStats() (pruned, total int64) {
+	return injPruned.Load(), injTotal.Load()
 }
 
 // RunOneFrom performs a single injection like RunOne but warm-starts from
@@ -73,6 +95,7 @@ func buildReferenceCore(k CoreKind, p *prog.Program, interval, maxCycles int) (*
 // checkpointed, so they keep the exact from-reset path.
 func RunOneFrom(c sim.Core, p *prog.Program, ref *Reference, bit, cycle, nomCycles int,
 	hookFactory func(*prog.Program) sim.CommitHook) (Outcome, int) {
+	injTotal.Add(1)
 	if hookFactory != nil || ref == nil || ref.Interval <= 0 || len(ref.Ckpts) == 0 {
 		return RunOne(c, p, bit, cycle, nomCycles, hookFactory)
 	}
@@ -100,6 +123,7 @@ func RunOneFrom(c sim.Core, p *prog.Program, ref *Reference, bit, cycle, nomCycl
 		}
 		if i := c.Cycles() / ref.Interval; c.Cycles()%ref.Interval == 0 && i < len(ref.Ckpts) &&
 			c.Matches(ref.Ckpts[i]) {
+			injPruned.Add(1)
 			return Vanished, -1
 		}
 	}

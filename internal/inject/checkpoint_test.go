@@ -41,7 +41,10 @@ func boundsHook(bound uint32) func(*prog.Program) sim.CommitHook {
 func TestRunOneFromEquivalence(t *testing.T) {
 	p := tinyProgram(t)
 	for _, kind := range []CoreKind{InO, OoO} {
-		ref, nomRes := BuildReference(kind, p, 16, 100000)
+		ref, nomRes, err := BuildReference(kind, p, 16, 100000)
+		if err != nil {
+			t.Fatalf("%v BuildReference: %v", kind, err)
+		}
 		if nomRes.Status != prog.StatusHalted {
 			t.Fatalf("%v nominal run failed: %v", kind, nomRes.Status)
 		}
@@ -218,4 +221,18 @@ func BenchmarkCampaignInO(b *testing.B) {
 	}
 	b.Run("from-reset", func(b *testing.B) { run(b, 0) })
 	b.Run("checkpointed", func(b *testing.B) { run(b, def) })
+}
+
+// TestBuildReferenceRejectsBadInterval checks that a non-positive interval
+// returns an error instead of panicking with a division by zero.
+func TestBuildReferenceRejectsBadInterval(t *testing.T) {
+	p := tinyProgram(t)
+	for _, interval := range []int{0, -1, -256} {
+		if _, _, err := BuildReference(InO, p, interval, 100000); err == nil {
+			t.Errorf("BuildReference(interval=%d): want error, got nil", interval)
+		}
+	}
+	if _, _, err := BuildReference(InO, p, 16, 100000); err != nil {
+		t.Errorf("BuildReference(interval=16): unexpected error %v", err)
+	}
 }

@@ -265,7 +265,11 @@ func Run(cfg Config, p *prog.Program, hookFactory func(*prog.Program) sim.Commit
 	var nomRet int64
 	if hookFactory == nil && CheckpointInterval > 0 {
 		var nomC sim.Core
-		ref, nomRes, nomC = buildReferenceCore(cfg.Core, p, CheckpointInterval, nomBudget)
+		var refErr error
+		ref, nomRes, nomC, refErr = buildReferenceCore(cfg.Core, p, CheckpointInterval, nomBudget)
+		if refErr != nil {
+			return nil, refErr
+		}
 		nomRet = nomC.Retired()
 	} else {
 		nom := NewCore(cfg.Core, p)

@@ -1,0 +1,102 @@
+package singleflight
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSharedExecution checks that N concurrent callers of the same key run
+// the function exactly once and all observe its value, with every caller
+// but the executor reporting joined.
+func TestSharedExecution(t *testing.T) {
+	var g Group[int]
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	const n = 16
+	var wg sync.WaitGroup
+	vals := make([]int, n)
+	joins := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, joined := g.Do("k", func() (int, error) {
+				calls.Add(1)
+				close(started)
+				<-release // hold the call open so every goroutine piles up
+				return 42, nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: unexpected error %v", i, err)
+			}
+			vals[i] = v
+			joins[i] = joined
+		}(i)
+	}
+	// Hold the single execution open long enough for every goroutine to
+	// reach Do and join the in-flight call before it completes.
+	<-started
+	time.Sleep(200 * time.Millisecond)
+	close(release)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("function ran %d times, want 1", got)
+	}
+	joined := 0
+	for i := range vals {
+		if vals[i] != 42 {
+			t.Errorf("caller %d got %d, want 42", i, vals[i])
+		}
+		if joins[i] {
+			joined++
+		}
+	}
+	if joined != n-1 {
+		t.Errorf("%d callers joined, want %d", joined, n-1)
+	}
+}
+
+// TestErrorNotRetained checks that a failed call is forgotten: the next
+// sequential call re-executes instead of replaying the error.
+func TestErrorNotRetained(t *testing.T) {
+	var g Group[string]
+	boom := errors.New("boom")
+	_, err, _ := g.Do("k", func() (string, error) { return "", boom })
+	if err != boom {
+		t.Fatalf("first call: err = %v, want boom", err)
+	}
+	v, err, joined := g.Do("k", func() (string, error) { return "ok", nil })
+	if err != nil || v != "ok" || joined {
+		t.Fatalf("second call = (%q, %v, joined=%v), want (ok, nil, false)", v, err, joined)
+	}
+}
+
+// TestDistinctKeysIndependent checks that different keys never share.
+func TestDistinctKeysIndependent(t *testing.T) {
+	var g Group[int]
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, _, _ := g.Do(string(rune('a'+i)), func() (int, error) {
+				calls.Add(1)
+				return i, nil
+			})
+			if v != i {
+				t.Errorf("key %d got %d", i, v)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if calls.Load() != 8 {
+		t.Fatalf("calls = %d, want 8", calls.Load())
+	}
+}

@@ -1,0 +1,104 @@
+package sweep
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"clear/internal/bench"
+	"clear/internal/core"
+	"clear/internal/inject"
+	"clear/internal/power"
+)
+
+// oldInv is the historical cmd/clearsweep aggregation helper, reproduced
+// verbatim: it mapped a worse-than-baseline improvement (v <= 0) to the
+// same near-zero reciprocal as near-perfect protection, reporting the
+// combination as a near-infinite improvement.
+func oldInv(v float64) float64 {
+	if math.IsInf(v, 1) || v <= 0 {
+		return 1e-9
+	}
+	return 1 / v
+}
+
+// TestInvRegression pins the fix: a non-positive improvement must dominate
+// the harmonic mean (huge reciprocal), not vanish from it.
+func TestInvRegression(t *testing.T) {
+	// The old helper made the zero-improvement mean astronomically large —
+	// the bug this PR removes.
+	if old := 1 / oldInv(0); old < 1e8 {
+		t.Fatalf("test premise wrong: old helper maps 0 to %.3g, expected ~1e9", old)
+	}
+	if Inv(0) < 1e6 {
+		t.Fatalf("Inv(0) = %g, want a dominating (huge) reciprocal", Inv(0))
+	}
+	if Inv(-3) < 1e6 {
+		t.Fatalf("Inv(-3) = %g, want a dominating reciprocal", Inv(-3))
+	}
+	if got := Inv(2); got != 0.5 {
+		t.Fatalf("Inv(2) = %g, want 0.5", got)
+	}
+	if got := Inv(math.Inf(1)); got != 0 {
+		t.Fatalf("Inv(+Inf) = %g, want 0 (zero residual)", got)
+	}
+	if Inv(math.NaN()) < 1e6 {
+		t.Fatalf("Inv(NaN) = %g, want a dominating reciprocal", Inv(math.NaN()))
+	}
+
+	// Aggregated: one zero-improvement benchmark among good ones drags the
+	// mean to ~0 instead of being ignored.
+	sum := Inv(0) + Inv(50) + Inv(50)
+	if m := HarmonicImp(sum, 3); m > 0.001 {
+		t.Fatalf("mean with a worse-than-baseline cell = %g, want ~0", m)
+	}
+	// All-protected benchmarks aggregate to +Inf ("max").
+	if m := HarmonicImp(Inv(math.Inf(1))+Inv(math.Inf(1)), 2); !math.IsInf(m, 1) {
+		t.Fatalf("all-Inf mean = %g, want +Inf", m)
+	}
+}
+
+// TestZeroImpRanksBelowTwoX runs the acceptance scenario end-to-end: a
+// combination with zero SDC improvement must rank below (worse than) a
+// combination with a 2x improvement — under the old helper it ranked as
+// near-infinite.
+func TestZeroImpRanksBelowTwoX(t *testing.T) {
+	combos := core.Enumerate(inject.InO)[:2]
+	zeroName, twoName := combos[0].Name(), combos[1].Name()
+	eval := func(c core.Combo, b *bench.Benchmark) (core.Outcome, error) {
+		imp := 2.0
+		if c.Name() == zeroName {
+			imp = 0 // no better than baseline
+		}
+		return core.Outcome{SDCImp: imp, DUEImp: 1, Cost: power.Cost{}, TargetMet: true}, nil
+	}
+	sw := Sweep{
+		Key:     Key{Core: "InO", Metric: "SDC", Target: 2, Seed: 1, SamplesBase: 1, SamplesTech: 1},
+		Combos:  combos,
+		Benches: bench.All()[:4],
+		Eval:    eval,
+	}
+	res, err := Run(context.Background(), sw, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var zero, two Row
+	for _, r := range res.Rows {
+		switch r.Name {
+		case zeroName:
+			zero = r
+		case twoName:
+			two = r
+		}
+	}
+	if !(zero.SDCImp < two.SDCImp) {
+		t.Fatalf("zero-improvement combo (%.3g) must rank below the 2x combo (%.3g)",
+			zero.SDCImp, two.SDCImp)
+	}
+	if zero.SDCImp > 0.001 {
+		t.Fatalf("zero-improvement combo reports %.3g, want ~0 (old bug reported ~1e9)", zero.SDCImp)
+	}
+	if math.Abs(two.SDCImp-2) > 1e-12 {
+		t.Fatalf("2x combo aggregates to %.3g, want 2", two.SDCImp)
+	}
+}

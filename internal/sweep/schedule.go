@@ -1,0 +1,142 @@
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// The sweep's cell grid is embarrassingly parallel but wildly uneven: a
+// cell whose campaigns are memoized finishes in microseconds while a cold
+// (benchmark, variant) cell runs a multi-second injection campaign. A
+// static partition would leave workers idle behind one unlucky shard, so
+// cells are scheduled with per-worker deques plus work stealing: each
+// worker drains its own contiguous shard from the front and, when empty,
+// steals the back half of the fullest victim's deque.
+
+// deque is a mutex-guarded index queue owned by one worker.
+type deque struct {
+	mu    sync.Mutex
+	items []int
+}
+
+// popFront removes and returns the first item.
+func (d *deque) popFront() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return 0, false
+	}
+	v := d.items[0]
+	d.items = d.items[1:]
+	return v, true
+}
+
+// stealHalf removes and returns the back half (at least one item) of the
+// deque, leaving the front for the owner to keep draining in order.
+func (d *deque) stealHalf() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return nil
+	}
+	keep := n / 2
+	stolen := append([]int(nil), d.items[keep:]...)
+	d.items = d.items[:keep]
+	return stolen
+}
+
+// push appends items to the back.
+func (d *deque) push(items []int) {
+	d.mu.Lock()
+	d.items = append(d.items, items...)
+	d.mu.Unlock()
+}
+
+// size reports the current queue length.
+func (d *deque) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}
+
+// runWorkStealing executes fn(worker, task[i]) for every i in [0,n) across
+// `workers` goroutines and blocks until all tasks ran or ctx was canceled.
+// Tasks never spawn tasks, so a worker may retire once every deque is
+// empty; a task "in flight" during the scan is already claimed and will
+// complete. (A scan can race with an in-progress steal and see both deques
+// momentarily empty — the stolen items still run on the thief, so no task
+// is lost, only a little parallelism at the very tail.)
+func runWorkStealing(ctx context.Context, n, workers int, fn func(worker, task int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Seed each deque with a contiguous shard of the index space.
+	deques := make([]*deque, workers)
+	per := n / workers
+	rem := n % workers
+	next := 0
+	for w := 0; w < workers; w++ {
+		count := per
+		if w < rem {
+			count++
+		}
+		items := make([]int, count)
+		for i := range items {
+			items[i] = next
+			next++
+		}
+		deques[w] = &deque{items: items}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			own := deques[w]
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				if idx, ok := own.popFront(); ok {
+					fn(w, idx)
+					continue
+				}
+				// Own deque empty: steal from the fullest victim.
+				victim := -1
+				best := 0
+				for off := 1; off < workers; off++ {
+					v := (w + off) % workers
+					if s := deques[v].size(); s > best {
+						best, victim = s, v
+					}
+				}
+				if victim < 0 {
+					return // nothing left anywhere
+				}
+				if stolen := deques[victim].stealHalf(); len(stolen) > 0 {
+					own.push(stolen)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForEach runs fn(i) for every i in [0,n) on the work-stealing pool and
+// blocks until done. workers <= 0 uses one worker per available CPU. A
+// canceled ctx stops scheduling further cells; cells already started still
+// finish. fn must be safe for concurrent invocation; determinism is the
+// caller's job (store results by index, aggregate in index order).
+func ForEach(ctx context.Context, n, workers int, fn func(i int)) {
+	runWorkStealing(ctx, n, workers, func(_, i int) { fn(i) })
+}

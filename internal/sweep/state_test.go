@@ -1,0 +1,63 @@
+package sweep
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestF64RoundTrip checks lossless JSON round-trips for the values sweep
+// outcomes actually contain: ordinary doubles bit-for-bit, plus the
+// ±Inf/NaN encodings encoding/json rejects natively.
+func TestF64RoundTrip(t *testing.T) {
+	vals := []float64{
+		0, 1, -1, 2, 0.1, 1.0 / 3.0, 1e-9, 1e300, math.Pi,
+		math.SmallestNonzeroFloat64, math.MaxFloat64,
+		math.Inf(1), math.Inf(-1),
+	}
+	for _, v := range vals {
+		b, err := json.Marshal(F64(v))
+		if err != nil {
+			t.Fatalf("marshal %g: %v", v, err)
+		}
+		var got F64
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if math.Float64bits(float64(got)) != math.Float64bits(v) {
+			t.Fatalf("round-trip %g -> %s -> %g: bits differ", v, b, float64(got))
+		}
+	}
+	// NaN round-trips as NaN (bits need not match).
+	b, err := json.Marshal(F64(math.NaN()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got F64
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(float64(got)) {
+		t.Fatalf("NaN round-tripped to %g", float64(got))
+	}
+	// Unknown string literals are rejected.
+	if err := json.Unmarshal([]byte(`"huge"`), &got); err == nil {
+		t.Fatal("bad literal accepted")
+	}
+}
+
+func TestCellKeyParse(t *testing.T) {
+	for _, tc := range []struct {
+		ci, bi int
+	}{{0, 0}, {416, 17}, {3, 9}} {
+		ci, bi, ok := parseCellKey(cellKey(tc.ci, tc.bi))
+		if !ok || ci != tc.ci || bi != tc.bi {
+			t.Fatalf("round-trip (%d,%d) -> (%d,%d,%v)", tc.ci, tc.bi, ci, bi, ok)
+		}
+	}
+	for _, bad := range []string{"", "3", "a:b", "3:", ":4"} {
+		if _, _, ok := parseCellKey(bad); ok {
+			t.Fatalf("parseCellKey(%q) accepted", bad)
+		}
+	}
+}

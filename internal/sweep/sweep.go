@@ -1,0 +1,272 @@
+// Package sweep is the parallel, resumable exploration engine behind the
+// paper's headline result: evaluating every cross-layer combination ×
+// benchmark cell to find minimum-cost resilient designs (Fig. 1d, Tables
+// 5/6). It schedules cells over a work-stealing worker pool, relies on
+// core.Engine's singleflight deduplication so concurrent cells never run
+// the same campaign twice, streams structured progress through a pluggable
+// Observer, and persists completed cells to a versioned JSON state file so
+// an interrupted sweep resumes where it stopped.
+//
+// Parallel and serial sweeps produce bit-identical aggregates: cell results
+// are stored by (combination, benchmark) index and aggregated in index
+// order, so worker count and scheduling order never reach the arithmetic.
+package sweep
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"clear/internal/bench"
+	"clear/internal/core"
+	"clear/internal/inject"
+)
+
+// EvalFunc evaluates one (combination, benchmark) cell.
+type EvalFunc func(c core.Combo, b *bench.Benchmark) (core.Outcome, error)
+
+// Sweep describes one exploration: the cell grid (combinations ×
+// benchmarks), the evaluation function, and the identity key used for
+// persistence.
+type Sweep struct {
+	Key     Key
+	Combos  []core.Combo
+	Benches []*bench.Benchmark
+	Eval    EvalFunc
+	// Stats, when non-nil, supplies engine memoization counters for
+	// progress events (set by New; optional for custom sweeps).
+	Stats func() core.EngineStats
+}
+
+// New builds the standard full-enumeration sweep for an engine: every
+// valid combination of the core against the given benchmarks (nil means
+// the core's full suite) at one (metric, target) design point.
+func New(e *core.Engine, benches []*bench.Benchmark, metric core.Metric, target float64) Sweep {
+	if benches == nil {
+		benches = e.Benchmarks()
+	}
+	return Sweep{
+		Key: Key{
+			Core:        e.Kind.String(),
+			Metric:      metric.String(),
+			Target:      F64(target),
+			Seed:        e.Seed,
+			SamplesBase: e.SamplesBase,
+			SamplesTech: e.SamplesTech,
+		},
+		Combos:  core.Enumerate(e.Kind),
+		Benches: benches,
+		Eval: func(c core.Combo, b *bench.Benchmark) (core.Outcome, error) {
+			return e.EvalCombo(b, c, metric, target)
+		},
+		Stats: e.Stats,
+	}
+}
+
+// Options tunes a sweep run.
+type Options struct {
+	// Workers is the number of concurrent cell evaluations; <= 0 uses one
+	// per available CPU. Workers == 1 is the serial reference order.
+	Workers int
+	// Observer receives progress events (nil discards them).
+	Observer Observer
+	// StatePath, when non-empty, enables persistence: completed cells are
+	// flushed to this JSON file and restored by the next run with a
+	// matching Key.
+	StatePath string
+	// FlushEvery is the number of completed cells between state flushes
+	// (default 16; lower is safer against kills, higher is less IO).
+	FlushEvery int
+}
+
+// CellFailure records one cell whose evaluation returned an error.
+type CellFailure struct {
+	Combo string
+	Bench string
+	Err   string
+}
+
+// Result is a finished sweep.
+type Result struct {
+	// Rows holds one aggregated row per combination, ranked by increasing
+	// energy (ties broken by name, so the ranking is total and
+	// deterministic).
+	Rows []Row
+	// Frontier is the Pareto-optimal subset of complete rows in the
+	// (improvement-at-metric, energy) plane.
+	Frontier []core.ParetoPoint
+	// Evaluated and Restored count cells computed this run vs. resumed
+	// from the state file; Failures lists cells whose evaluation errored.
+	Evaluated int
+	Restored  int
+	Failures  []CellFailure
+}
+
+// Run executes a sweep. Cell evaluations run on a work-stealing pool;
+// failures are recorded and skipped rather than aborting the run. On a
+// canceled context the completed cells are flushed to the state file (when
+// persistence is on) and ctx.Err() is returned.
+func Run(ctx context.Context, sw Sweep, opt Options) (*Result, error) {
+	obs := opt.Observer
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	flushEvery := opt.FlushEvery
+	if flushEvery <= 0 {
+		flushEvery = 16
+	}
+	nB := len(sw.Benches)
+	total := len(sw.Combos) * nB
+
+	cells := make([]*CellOutcome, total)
+	restored := 0
+	if opt.StatePath != "" {
+		if saved, ok := loadState(opt.StatePath, sw); ok {
+			for idx, co := range saved {
+				c := co
+				cells[idx] = &c
+				restored++
+			}
+		}
+	}
+
+	var pending []int
+	for i := range cells {
+		if cells[i] == nil {
+			pending = append(pending, i)
+		}
+	}
+
+	obs.Event(Event{Type: EventStart, Total: total, Restored: restored})
+
+	start := time.Now()
+	var mu sync.Mutex // guards done/failed counts and state flushes
+	done, failed := 0, 0
+	sinceFlush := 0
+
+	flushLocked := func() {
+		if opt.StatePath != "" {
+			// Flushing is best-effort: a failed write only costs resume
+			// coverage, never the in-memory sweep.
+			_ = saveState(opt.StatePath, sw, cells)
+		}
+		sinceFlush = 0
+	}
+
+	runWorkStealing(ctx, len(pending), opt.Workers, func(_, k int) {
+		idx := pending[k]
+		ci, bi := idx/nB, idx%nB
+		out, err := sw.Eval(sw.Combos[ci], sw.Benches[bi])
+		co := CellOutcome{
+			SDCImp:    F64(out.SDCImp),
+			DUEImp:    F64(out.DUEImp),
+			Energy:    F64(out.Cost.Energy()),
+			Area:      F64(out.Cost.Area),
+			TargetMet: out.TargetMet,
+		}
+		if err != nil {
+			co = CellOutcome{Err: err.Error()}
+		}
+
+		mu.Lock()
+		cells[idx] = &co
+		done++
+		if err != nil {
+			failed++
+		}
+		sinceFlush++
+		if sinceFlush >= flushEvery {
+			flushLocked()
+		}
+		ev := Event{
+			Type:     EventCellDone,
+			Combo:    sw.Combos[ci].Name(),
+			Bench:    sw.Benches[bi].Name,
+			Done:     done,
+			Failed:   failed,
+			Total:    total,
+			Restored: restored,
+			Elapsed:  time.Since(start),
+		}
+		if done > 0 {
+			remaining := len(pending) - done
+			ev.ETA = time.Duration(float64(ev.Elapsed) / float64(done) * float64(remaining))
+		}
+		mu.Unlock()
+
+		if err != nil {
+			ev.Type = EventCellFailed
+			ev.Err = err.Error()
+		}
+		if sw.Stats != nil {
+			s := sw.Stats()
+			ev.Engine = &s
+		}
+		ev.PrunedInjections, ev.TotalInjections = inject.PruneStats()
+		obs.Event(ev)
+	})
+
+	mu.Lock()
+	flushLocked()
+	evaluated, nFailed := done, failed
+	mu.Unlock()
+
+	if err := ctx.Err(); err != nil {
+		obs.Event(Event{Type: EventDone, Done: evaluated, Failed: nFailed,
+			Total: total, Restored: restored, Elapsed: time.Since(start)})
+		return nil, err
+	}
+
+	res := &Result{
+		Rows:      buildRows(sw, cells),
+		Evaluated: evaluated,
+		Restored:  restored,
+	}
+	for idx, co := range cells {
+		if co != nil && co.Err != "" {
+			res.Failures = append(res.Failures, CellFailure{
+				Combo: sw.Combos[idx/nB].Name(),
+				Bench: sw.Benches[idx%nB].Name,
+				Err:   co.Err,
+			})
+		}
+	}
+	res.Frontier = frontierOf(res.Rows, sw.Key.Metric)
+
+	obs.Event(Event{Type: EventDone, Done: evaluated, Failed: nFailed,
+		Total: total, Restored: restored, Elapsed: time.Since(start)})
+	return res, nil
+}
+
+// frontierOf projects complete rows onto the (improvement, energy) plane of
+// the sweep's target metric and returns the shared Pareto frontier.
+func frontierOf(rows []Row, metric string) []core.ParetoPoint {
+	var pts []core.ParetoPoint
+	for _, r := range rows {
+		if r.Failed > 0 || r.Benches == 0 {
+			continue
+		}
+		imp := r.SDCImp
+		if metric == core.DUE.String() {
+			imp = r.DUEImp
+		}
+		if math.IsNaN(imp) {
+			continue
+		}
+		pts = append(pts, core.ParetoPoint{Name: r.Name, Improvement: imp, Energy: r.Energy})
+	}
+	return core.ParetoFrontier(pts)
+}
+
+// rankRows sorts rows by increasing energy, breaking ties by name so the
+// order is total (required for the parallel-equals-serial guarantee).
+func rankRows(rows []Row) {
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Energy != rows[j].Energy {
+			return rows[i].Energy < rows[j].Energy
+		}
+		return rows[i].Name < rows[j].Name
+	})
+}

@@ -1,0 +1,251 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"clear/internal/bench"
+	"clear/internal/core"
+	"clear/internal/inject"
+	"clear/internal/power"
+)
+
+// fakeSweep builds a synthetic sweep over real combo/bench identities with
+// a deterministic arithmetic evaluation — no campaigns, so scheduler and
+// aggregation behavior is isolated from simulation time.
+func fakeSweep(nCombos, nBenches int, eval EvalFunc) Sweep {
+	combos := core.Enumerate(inject.InO)[:nCombos]
+	benches := bench.All()[:nBenches]
+	return Sweep{
+		Key:     Key{Core: "InO", Metric: "SDC", Target: 50, Seed: 1, SamplesBase: 1, SamplesTech: 1},
+		Combos:  combos,
+		Benches: benches,
+		Eval:    eval,
+	}
+}
+
+// arithEval returns a deterministic EvalFunc whose outputs exercise the
+// interesting float cases: finite improvements, +Inf (fully protected),
+// and distinct costs per cell.
+func arithEval(delay time.Duration) EvalFunc {
+	return func(c core.Combo, b *bench.Benchmark) (core.Outcome, error) {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		h := 0.0
+		for _, r := range c.Name() + "|" + b.Name {
+			h = math.Mod(h*31+float64(r), 1e6)
+		}
+		out := core.Outcome{
+			SDCImp:    1 + math.Mod(h, 97),
+			DUEImp:    1 + math.Mod(h, 31),
+			Cost:      power.Cost{Area: math.Mod(h, 7) / 100, Power: math.Mod(h, 13) / 100, ExecTime: math.Mod(h, 3) / 100},
+			TargetMet: math.Mod(h, 5) != 0,
+		}
+		if math.Mod(h, 11) == 0 {
+			out.SDCImp = math.Inf(1) // fully protected cell
+		}
+		return out, nil
+	}
+}
+
+// TestParallelMatchesSerial is the determinism guarantee: a sweep with
+// many workers produces exactly the same ranked rows as the same sweep run
+// serially.
+func TestParallelMatchesSerial(t *testing.T) {
+	sw := fakeSweep(40, 5, arithEval(0))
+	serial, err := Run(context.Background(), sw, Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Run(context.Background(), sw, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial.Rows, parallel.Rows) {
+		t.Fatalf("parallel rows differ from serial rows")
+	}
+	if !reflect.DeepEqual(serial.Frontier, parallel.Frontier) {
+		t.Fatalf("parallel frontier differs from serial frontier")
+	}
+	if len(serial.Rows) != 40 {
+		t.Fatalf("rows = %d, want 40", len(serial.Rows))
+	}
+}
+
+// TestEngineSweepParallelMatchesSerial runs a real engine-backed sweep
+// (small grid, tiny sampling) with 1 and 4 workers and requires identical
+// ranked rows — the end-to-end determinism the resumable sweep promises.
+func TestEngineSweepParallelMatchesSerial(t *testing.T) {
+	t.Setenv("CLEAR_CACHE_DIR", t.TempDir())
+	run := func(workers int) *Result {
+		e := core.NewEngine(inject.InO)
+		e.SamplesBase, e.SamplesTech = 1, 1
+		sw := New(e, e.Benchmarks()[:2], core.SDC, 5)
+		sw.Combos = sw.Combos[:6] // hardware-only head of the enumeration
+		res, err := Run(context.Background(), sw, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(4)
+	if !reflect.DeepEqual(serial.Rows, parallel.Rows) {
+		t.Fatalf("engine sweep: parallel rows differ from serial\nserial:   %+v\nparallel: %+v",
+			serial.Rows, parallel.Rows)
+	}
+	if serial.Evaluated != 12 || parallel.Evaluated != 12 {
+		t.Fatalf("evaluated %d/%d cells, want 12", serial.Evaluated, parallel.Evaluated)
+	}
+}
+
+// TestFailuresDoNotAbort checks graceful degradation: failing cells are
+// recorded, the rest of the sweep completes, and the failures surface in
+// the result.
+func TestFailuresDoNotAbort(t *testing.T) {
+	inner := arithEval(0)
+	eval := func(c core.Combo, b *bench.Benchmark) (core.Outcome, error) {
+		if b.Name == bench.All()[1].Name && c.Name() == core.Enumerate(inject.InO)[2].Name() {
+			return core.Outcome{}, fmt.Errorf("synthetic failure")
+		}
+		return inner(c, b)
+	}
+	sw := fakeSweep(10, 3, eval)
+	res, err := Run(context.Background(), sw, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != 1 {
+		t.Fatalf("failures = %v, want exactly 1", res.Failures)
+	}
+	if res.Failures[0].Err != "synthetic failure" {
+		t.Fatalf("failure err = %q", res.Failures[0].Err)
+	}
+	if res.Evaluated != 30 {
+		t.Fatalf("evaluated %d cells, want 30 (sweep must continue past the failure)", res.Evaluated)
+	}
+	// The failed combo's row is flagged and excluded from Met.
+	for _, r := range res.Rows {
+		if r.Name == res.Failures[0].Combo {
+			if r.Failed != 1 || r.Met {
+				t.Fatalf("failed combo row = %+v, want Failed=1 Met=false", r)
+			}
+		}
+	}
+}
+
+// cancelAfter cancels a context after n cell completions.
+type cancelAfter struct {
+	n      int64
+	seen   atomic.Int64
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfter) Event(ev Event) {
+	if ev.Type != EventCellDone && ev.Type != EventCellFailed {
+		return
+	}
+	if c.seen.Add(1) == c.n {
+		c.cancel()
+	}
+}
+
+// TestResumeSkipsCompletedCells kills a sweep mid-run (context cancel
+// after a few cells) and resumes it from the JSON state file: the resumed
+// run must evaluate exactly the cells the first run did not complete, and
+// the final rows must match an uninterrupted reference run.
+func TestResumeSkipsCompletedCells(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "sweep.json")
+	var evals atomic.Int64
+	counting := func(inner EvalFunc) EvalFunc {
+		return func(c core.Combo, b *bench.Benchmark) (core.Outcome, error) {
+			evals.Add(1)
+			return inner(c, b)
+		}
+	}
+	sw := fakeSweep(10, 3, counting(arithEval(time.Millisecond)))
+	total := 30
+
+	ctx, cancel := context.WithCancel(context.Background())
+	obs := &cancelAfter{n: 5, cancel: cancel}
+	_, err := Run(ctx, sw, Options{Workers: 4, Observer: obs, StatePath: state, FlushEvery: 1})
+	if err != context.Canceled {
+		t.Fatalf("interrupted run: err = %v, want context.Canceled", err)
+	}
+	first := int(evals.Load())
+	if first >= total || first < 5 {
+		t.Fatalf("interrupted run evaluated %d of %d cells; want a strict subset of at least 5", first, total)
+	}
+
+	res, err := Run(context.Background(), sw, Options{Workers: 4, StatePath: state, FlushEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(evals.Load()); got != total {
+		t.Fatalf("total evaluations %d, want %d (completed cells must not re-run)", got, total)
+	}
+	if res.Restored != first {
+		t.Fatalf("resumed run restored %d cells, want %d", res.Restored, first)
+	}
+	if res.Evaluated != total-first {
+		t.Fatalf("resumed run evaluated %d cells, want %d", res.Evaluated, total-first)
+	}
+
+	// The resumed result equals an uninterrupted reference run.
+	ref, err := Run(context.Background(), fakeSweep(10, 3, arithEval(0)), Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Rows, ref.Rows) {
+		t.Fatalf("resumed rows differ from uninterrupted reference")
+	}
+}
+
+// TestStateMismatchedKeyIgnored verifies a state file from a different
+// sweep configuration is discarded rather than mixed in.
+func TestStateMismatchedKeyIgnored(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "sweep.json")
+	sw := fakeSweep(5, 2, arithEval(0))
+	if _, err := Run(context.Background(), sw, Options{Workers: 2, StatePath: state}); err != nil {
+		t.Fatal(err)
+	}
+
+	other := fakeSweep(5, 2, arithEval(0))
+	other.Key.Seed = 999 // different campaign seed: saved cells invalid
+	var evals atomic.Int64
+	other.Eval = func(c core.Combo, b *bench.Benchmark) (core.Outcome, error) {
+		evals.Add(1)
+		return arithEval(0)(c, b)
+	}
+	res, err := Run(context.Background(), other, Options{Workers: 2, StatePath: state})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Restored != 0 || evals.Load() != 10 {
+		t.Fatalf("mismatched state reused: restored=%d evals=%d, want 0/10", res.Restored, evals.Load())
+	}
+}
+
+// TestForEachCoversAllIndices checks the work-stealing parallel-for runs
+// every index exactly once for assorted worker counts.
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 257
+		counts := make([]atomic.Int64, n)
+		ForEach(context.Background(), n, workers, func(i int) {
+			counts[i].Add(1)
+		})
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
