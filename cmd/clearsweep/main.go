@@ -7,22 +7,33 @@
 // The exploration itself lives in internal/sweep: cells run concurrently
 // on a work-stealing pool (-workers), and -state points at a JSON file
 // that makes the sweep resumable — an interrupted run picks up from its
-// completed cells. A failing cell no longer aborts the sweep; failures are
-// reported in the summary and make the exit status non-zero.
+// completed cells. Long runs are fault-tolerant: cell panics are isolated
+// and classified, hung cells trip a watchdog (-cell-timeout or the
+// adaptive -cell-timeout-factor), transient failures retry with backoff
+// (-retries), SIGINT/SIGTERM drains in-flight cells and flushes state
+// (exit status 3 = resumable; a second signal exits immediately), and the
+// state file is lock-protected against concurrent sweeps.
+//
+// Exit statuses: 0 success, 1 completed with failed cells (or internal
+// error), 2 another sweep holds the -state lock, 3 interrupted with
+// resumable state flushed, 130 second-signal hard exit.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
 	"strings"
+	"time"
 
 	"clear/internal/bench"
 	"clear/internal/core"
 	"clear/internal/inject"
+	"clear/internal/resilient"
 	"clear/internal/sweep"
 )
 
@@ -34,6 +45,13 @@ func main() {
 	quick := flag.Bool("quick", false, "reduced sampling")
 	workers := flag.Int("workers", 0, "concurrent cell evaluations (0 = one per CPU)")
 	statePath := flag.String("state", "", "sweep state file for interrupt/resume (empty = no persistence)")
+	flushEvery := flag.Int("flush-every", 16, "completed cells between state flushes (lower = safer against kills)")
+	cellTimeout := flag.Duration("cell-timeout", 0,
+		"fixed watchdog deadline per cell (0 = derive adaptively, negative = no watchdog)")
+	cellFactor := flag.Float64("cell-timeout-factor", 20,
+		"adaptive watchdog: deadline = factor x slowest successful cell (used when -cell-timeout is 0; <= 0 disables)")
+	retries := flag.Int("retries", 2, "retry budget for transiently failing cells (timeouts, cache IO)")
+	maxCombos := flag.Int("max-combos", 0, "evaluate only the first N combinations (0 = all; smoke tests)")
 	flag.Parse()
 
 	var kind inject.CoreKind
@@ -63,15 +81,41 @@ func main() {
 		benches = []*bench.Benchmark{b}
 	}
 
+	ctx, stop := resilient.WithSignals(context.Background())
+	defer stop()
+
 	sw := sweep.New(e, benches, core.SDC, tgt)
+	if *maxCombos > 0 && *maxCombos < len(sw.Combos) {
+		sw.Combos = sw.Combos[:*maxCombos]
+	}
 	log.Printf("evaluating %d combinations on %d benchmark(s) at %sx SDC target...",
 		len(sw.Combos), len(sw.Benches), fmtTarget(tgt))
-	res, err := sweep.Run(context.Background(), sw, sweep.Options{
-		Workers:   *workers,
-		StatePath: *statePath,
-		Observer:  sweep.LogObserver{Printf: log.Printf},
+	res, err := sweep.Run(ctx, sw, sweep.Options{
+		Workers:           *workers,
+		StatePath:         *statePath,
+		FlushEvery:        *flushEvery,
+		Observer:          sweep.LogObserver{Printf: log.Printf},
+		CellTimeout:       *cellTimeout,
+		CellTimeoutFactor: *cellFactor,
+		Retry: resilient.Policy{
+			MaxAttempts: 1 + *retries,
+			BaseDelay:   time.Second,
+			Seed:        e.Seed,
+		},
 	})
-	if err != nil {
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		if *statePath != "" {
+			log.Printf("sweep interrupted: completed cells flushed to %s — rerun the same command to resume", *statePath)
+			os.Exit(resilient.ExitResumable)
+		}
+		log.Print("sweep interrupted (no -state file, progress lost)")
+		os.Exit(1)
+	case sweep.IsLocked(err):
+		log.Printf("%v", err)
+		os.Exit(2)
+	default:
 		log.Fatalf("sweep: %v", err)
 	}
 
@@ -97,13 +141,27 @@ func main() {
 	}
 
 	fmt.Printf("\n%d of %d combinations met the target\n", met, len(res.Rows))
+	if res.Restored > 0 {
+		fmt.Printf("(%d cells restored from %s)\n", res.Restored, *statePath)
+	}
+	if q := inject.QuarantineStats(); q > 0 {
+		fmt.Printf("(%d corrupt cache entries quarantined as *.corrupt and recomputed)\n", q)
+	}
 	if n := len(res.Failures); n > 0 {
 		fmt.Printf("\n%d cell(s) FAILED:\n", n)
 		for _, f := range res.Failures {
-			fmt.Printf("  %s / %s: %s\n", f.Combo, f.Bench, f.Err)
+			fmt.Printf("  %s / %s [%s, %d attempt(s)]: %s\n", f.Combo, f.Bench, f.Kind, f.Attempts, f.Err)
+			if f.Stack != "" {
+				fmt.Printf("    stack:\n%s\n", indent(f.Stack, "      "))
+			}
 		}
 		os.Exit(1)
 	}
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	return prefix + strings.Join(lines, "\n"+prefix)
 }
 
 func fmtTarget(v float64) string {

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"clear/internal/resilient"
+)
+
+// stateCells reads the sweep state file and reports how many cells it
+// holds (-1 when the file does not exist or does not parse yet).
+func stateCells(path string) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return -1
+	}
+	var st struct {
+		Cells map[string]json.RawMessage `json:"cells"`
+	}
+	if err := json.Unmarshal(data, &st); err != nil {
+		return -1
+	}
+	return len(st.Cells)
+}
+
+// TestSignalInterruptAndResume drives the built clearsweep binary through
+// the operator story: SIGINT mid-sweep must flush the state file and exit
+// with the resumable status, and a follow-up run must restore the
+// completed cells and finish cleanly.
+func TestSignalInterruptAndResume(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the clearsweep binary")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not available")
+	}
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "clearsweep")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	state := filepath.Join(dir, "state.json")
+	cacheDir := filepath.Join(dir, "cache")
+	args := []string{
+		"-quick", "-core", "InO", "-bench", "gzip",
+		"-max-combos", "48", "-workers", "2",
+		"-state", state, "-flush-every", "1",
+	}
+	env := append(os.Environ(), "CLEAR_CACHE_DIR="+cacheDir)
+
+	// Run 1: interrupt as soon as the first cells are flushed.
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	first := exec.CommandContext(ctx, bin, args...)
+	first.Env = env
+	var out1 bytes.Buffer
+	first.Stdout, first.Stderr = &out1, &out1
+	if err := first.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for deadline := time.Now().Add(60 * time.Second); stateCells(state) < 1; {
+		if time.Now().After(deadline) {
+			first.Process.Kill()
+			t.Fatalf("no state flushed within the deadline; output:\n%s", out1.String())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if err := first.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	err := first.Wait()
+	var ee *exec.ExitError
+	if !errors.As(err, &ee) {
+		t.Fatalf("interrupted run: err = %v (completed before the signal landed?); output:\n%s", err, out1.String())
+	}
+	if code := ee.ExitCode(); code != resilient.ExitResumable {
+		t.Fatalf("interrupted run exit code = %d, want %d (resumable); output:\n%s",
+			code, resilient.ExitResumable, out1.String())
+	}
+	flushed := stateCells(state)
+	if flushed < 1 {
+		t.Fatalf("state file lost after interrupt (cells = %d)", flushed)
+	}
+	if !bytes.Contains(out1.Bytes(), []byte("rerun the same command to resume")) {
+		t.Fatalf("interrupted run did not announce resumability; output:\n%s", out1.String())
+	}
+
+	// Run 2: same command resumes from the flushed cells and completes.
+	second := exec.CommandContext(ctx, bin, args...)
+	second.Env = env
+	out2, err := second.CombinedOutput()
+	if err != nil {
+		t.Fatalf("resumed run failed: %v\n%s", err, out2)
+	}
+	if !bytes.Contains(out2, []byte("restored from state")) {
+		t.Fatalf("resumed run did not restore the flushed cells; output:\n%s", out2)
+	}
+	if got := stateCells(state); got != 48 {
+		t.Fatalf("final state holds %d cells, want 48", got)
+	}
+}

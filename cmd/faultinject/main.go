@@ -7,15 +7,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"clear/internal/bench"
 	"clear/internal/core"
 	"clear/internal/inject"
+	"clear/internal/resilient"
 	"clear/internal/stats"
 )
 
@@ -28,6 +32,7 @@ func main() {
 	top := flag.Int("top", 10, "show the N most vulnerable structures")
 	ckptInterval := flag.Int("ckpt-interval", inject.CheckpointInterval,
 		"cycles between reference checkpoints (0 replays every injection from reset)")
+	retries := flag.Int("retries", 2, "retry budget for transient campaign failures")
 	flag.Parse()
 
 	var kind inject.CoreKind
@@ -49,9 +54,18 @@ func main() {
 	e.SamplesTech = *samples
 	v := core.Variant{DFC: *dfc, Monitor: *monitor}
 
-	res, err := e.Campaign(b, v)
+	// The campaign runs under panic isolation and transient-failure retry:
+	// a simulator crash prints a classified error with its stack instead of
+	// an unhandled panic, and a cache-IO hiccup gets another chance.
+	res, attempts, err := resilient.Do(context.Background(),
+		resilient.Policy{MaxAttempts: 1 + *retries, BaseDelay: time.Second},
+		func() (*inject.Result, error) { return e.Campaign(b, v) })
 	if err != nil {
-		log.Fatal(err)
+		log.Printf("campaign failed [%s, %d attempt(s)]: %v", resilient.KindOf(err), attempts, err)
+		if st := resilient.StackOf(err); st != "" {
+			fmt.Fprintln(os.Stderr, st)
+		}
+		os.Exit(1)
 	}
 
 	tot := res.Totals

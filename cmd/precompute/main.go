@@ -2,9 +2,16 @@
 // configuration the experiment harness needs. Campaigns are expensive
 // (minutes for the out-of-order core) and deterministic, so they are
 // computed once and cached under testdata/cache (see inject.CacheDir).
+//
+// The warm loop is fault-tolerant: each campaign runs under panic
+// isolation with transient-failure retries (-retries), a failing
+// configuration is recorded and skipped instead of aborting the whole
+// warm-up, and SIGINT/SIGTERM stops between campaigns with exit status 3 —
+// everything cached so far is preserved, so rerunning resumes naturally.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -15,27 +22,41 @@ import (
 	"clear/internal/core"
 	"clear/internal/experiments"
 	"clear/internal/inject"
+	"clear/internal/resilient"
 )
 
 func main() {
 	only := flag.String("only", "", "restrict to a phase: base, ino, ooo, abft")
 	ckptInterval := flag.Int("ckpt-interval", inject.CheckpointInterval,
 		"cycles between reference checkpoints (0 replays every injection from reset)")
+	retries := flag.Int("retries", 2, "retry budget for transiently failing campaigns")
 	flag.Parse()
 	inject.CheckpointInterval = *ckptInterval
 	log.SetFlags(log.Ltime)
 	start := time.Now()
 
+	ctx, stop := resilient.WithSignals(context.Background())
+	defer stop()
+	policy := resilient.Policy{MaxAttempts: 1 + *retries, BaseDelay: time.Second}
+
 	inoE := core.NewEngine(inject.InO)
 	oooE := core.NewEngine(inject.OoO)
+
+	var failures []string
 
 	phase := func(name string, f func() error) {
 		if *only != "" && *only != name {
 			return
 		}
+		if ctx.Err() != nil {
+			return
+		}
 		t0 := time.Now()
 		log.Printf("phase %s...", name)
 		if err := f(); err != nil {
+			if ctx.Err() != nil {
+				return
+			}
 			fmt.Fprintf(os.Stderr, "precompute %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -45,9 +66,27 @@ func main() {
 	warm := func(e *core.Engine, benches []*bench.Benchmark, variants []core.Variant) error {
 		for _, v := range variants {
 			for _, b := range benches {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
 				t0 := time.Now()
-				if _, err := e.Campaign(b, v); err != nil {
-					return fmt.Errorf("%s/%s/%s: %w", e.Kind, b.Name, v.Tag(), err)
+				_, attempts, err := resilient.Do(ctx, policy, func() (*inject.Result, error) {
+					return e.Campaign(b, v)
+				})
+				if err != nil {
+					if ctx.Err() != nil {
+						return ctx.Err()
+					}
+					// One bad configuration must not starve the rest of the
+					// cache: classify, record, keep warming.
+					desc := fmt.Sprintf("%s/%s/%s [%s, %d attempt(s)]: %v",
+						e.Kind, b.Name, v.Tag(), resilient.KindOf(err), attempts, err)
+					failures = append(failures, desc)
+					log.Printf("  FAILED %s", desc)
+					if st := resilient.StackOf(err); st != "" {
+						fmt.Fprintln(os.Stderr, st)
+					}
+					continue
 				}
 				log.Printf("  %s %s %s (%s)", e.Kind, b.Name, v.Tag(), time.Since(t0).Round(time.Millisecond))
 			}
@@ -85,6 +124,18 @@ func main() {
 		return warm(oooE, experiments.ABFTCorrBenchmarks(), experiments.ABFTCorrVariants())
 	})
 
+	if ctx.Err() != nil {
+		log.Printf("interrupted after %s; campaigns cached so far are preserved at %s — rerun to resume",
+			time.Since(start).Round(time.Second), inject.CacheDir())
+		os.Exit(resilient.ExitResumable)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "precompute: %d configuration(s) failed:\n", len(failures))
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "  %s\n", f)
+		}
+		os.Exit(1)
+	}
 	log.Printf("all phases complete in %s; cache at %s",
 		time.Since(start).Round(time.Second), inject.CacheDir())
 }

@@ -24,6 +24,7 @@ import (
 	"clear/internal/ooo"
 	"clear/internal/power"
 	"clear/internal/prog"
+	"clear/internal/resilient"
 	"clear/internal/sim"
 	"clear/internal/singleflight"
 	"clear/internal/swres"
@@ -370,7 +371,13 @@ func (e *Engine) Campaign(b *bench.Benchmark, v Variant) (*inject.Result, error)
 			SamplesPerFF: samples,
 			Seed:         e.Seed,
 		}
-		r, err := inject.Campaign(cfg, p, v.hookFactory())
+		// Panic isolation: a crash deep in the simulator becomes a
+		// classified *resilient.PanicError shared with every joined caller
+		// instead of unwinding (and killing) whichever worker happened to
+		// own the singleflight.
+		r, err := resilient.Safe(func() (*inject.Result, error) {
+			return inject.Campaign(cfg, p, v.hookFactory())
+		})
 		if err != nil {
 			return nil, err
 		}

@@ -1,12 +1,16 @@
 package inject
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"hash/fnv"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 
 	"clear/internal/prog"
 	"clear/internal/sim"
@@ -16,6 +20,11 @@ import (
 // are cached on disk keyed by a hash of the configuration and the exact
 // program binary. Delete the cache directory (or set CLEAR_CACHE_DIR) to
 // force re-runs.
+//
+// Entries are self-healing: each file carries a CRC32-C integrity trailer
+// verified on every read, and a corrupt or truncated entry is quarantined
+// (renamed *.corrupt, preserving the evidence) and recomputed instead of
+// failing the campaign. See DESIGN.md §8.
 
 var (
 	cacheDirOnce sync.Once
@@ -73,40 +82,104 @@ func nonEmpty(s string) string {
 	return s
 }
 
-// Campaign runs (or loads from cache) the injection campaign for cfg.
+// cacheMagic marks the 8-byte integrity trailer appended to every cache
+// entry: the 4 magic bytes followed by the little-endian CRC32-C of the gob
+// payload. Entries written before the trailer existed lack it and fall back
+// to a plain decode.
+var cacheMagic = [4]byte{'C', 'L', 'R', 'C'}
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// quarantined counts corrupt cache entries this process renamed aside; the
+// sweep observer streams it so operators see disk rot as it happens.
+var quarantinedEntries atomic.Int64
+
+// QuarantineStats reports how many corrupt cache entries this process has
+// quarantined (renamed *.corrupt) and recomputed.
+func QuarantineStats() int64 { return quarantinedEntries.Load() }
+
+// encodeCache serializes a campaign result and appends the CRC trailer.
+func encodeCache(r *Result) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
+		return nil, err
+	}
+	sum := crc32.Checksum(buf.Bytes(), castagnoli)
+	buf.Write(cacheMagic[:])
+	var tr [4]byte
+	binary.LittleEndian.PutUint32(tr[:], sum)
+	buf.Write(tr[:])
+	return buf.Bytes(), nil
+}
+
+// decodeCache deserializes a cache entry body. When the integrity trailer
+// is present the payload CRC is verified before gob sees a single byte;
+// trailerless (legacy) entries decode directly, where gob's own framing is
+// the only truncation defense.
+func decodeCache(data []byte) (*Result, error) {
+	payload := data
+	if n := len(data); n >= 8 && bytes.Equal(data[n-8:n-4], cacheMagic[:]) {
+		want := binary.LittleEndian.Uint32(data[n-4:])
+		payload = data[:n-8]
+		if got := crc32.Checksum(payload, castagnoli); got != want {
+			return nil, fmt.Errorf("inject: cache CRC mismatch (%08x != %08x)", got, want)
+		}
+	}
+	var r Result
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&r); err != nil {
+		return nil, fmt.Errorf("inject: cache decode: %w", err)
+	}
+	return &r, nil
+}
+
+// quarantine renames a corrupt cache entry to path+".corrupt" so the
+// evidence survives for postmortems while the campaign recomputes. If the
+// rename itself fails the entry is removed — recomputing must never be
+// blocked by a bad file.
+func quarantine(path string) {
+	if err := os.Rename(path, path+".corrupt"); err == nil {
+		quarantinedEntries.Add(1)
+	} else {
+		os.Remove(path)
+	}
+}
+
+// Campaign runs (or loads from cache) the injection campaign for cfg. Cache
+// failures never fail the campaign: a corrupt or truncated entry is
+// quarantined and the campaign recomputed; a decodable entry that does not
+// demonstrably belong to this campaign (stored Config mismatch, implausible
+// shape — a key collision or hand-edited file) is discarded as stale.
 func Campaign(cfg Config, p *prog.Program, hookFactory func(*prog.Program) sim.CommitHook) (*Result, error) {
 	path := filepath.Join(CacheDir(), cacheKey(cfg, p))
-	if f, err := os.Open(path); err == nil {
-		var r Result
-		err := gob.NewDecoder(f).Decode(&r)
-		f.Close()
-		// A decodable file is trusted only if it demonstrably belongs to
-		// this campaign: the stored Config must equal the requested one and
-		// the result must be internally plausible. A cache-key collision or
-		// a hand-edited file is treated as stale, never silently returned
-		// as another campaign's statistics.
-		if err == nil && r.Config == cfg && r.NomCycles > 0 &&
+	if data, err := os.ReadFile(path); err == nil {
+		r, derr := decodeCache(data)
+		if derr == nil && r.Config == cfg && r.NomCycles > 0 &&
 			len(r.PerFF) == SpaceBits(cfg.Core) {
-			return &r, nil
+			return r, nil
 		}
-		// stale or corrupt: fall through and regenerate
-		os.Remove(path)
+		if derr != nil {
+			quarantine(path)
+		} else {
+			os.Remove(path) // stale, not corrupt: no evidence worth keeping
+		}
 	}
 	r, err := Run(cfg, p, hookFactory)
 	if err != nil {
 		return nil, err
 	}
-	if err := os.MkdirAll(CacheDir(), 0o755); err == nil {
-		tmp, err := os.CreateTemp(CacheDir(), "campaign-*")
-		if err == nil {
-			encErr := gob.NewEncoder(tmp).Encode(r)
-			name := tmp.Name()
-			tmp.Close()
-			// Caching is best-effort: on any failure (encode or rename) the
-			// temp file is removed and the freshly computed result is
-			// returned; the campaign simply re-runs next time.
-			if encErr != nil || os.Rename(name, path) != nil {
-				os.Remove(name)
+	if data, encErr := encodeCache(r); encErr == nil {
+		if err := os.MkdirAll(CacheDir(), 0o755); err == nil {
+			tmp, err := os.CreateTemp(CacheDir(), "campaign-*")
+			if err == nil {
+				name := tmp.Name()
+				_, werr := tmp.Write(data)
+				cerr := tmp.Close()
+				// Caching is best-effort: on any failure (write, close, or
+				// rename) the temp file is removed and the freshly computed
+				// result is returned; the campaign simply re-runs next time.
+				if werr != nil || cerr != nil || os.Rename(name, path) != nil {
+					os.Remove(name)
+				}
 			}
 		}
 	}

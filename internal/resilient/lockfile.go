@@ -1,0 +1,79 @@
+package resilient
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"strconv"
+	"strings"
+	"syscall"
+)
+
+// Lock is a held exclusive lock file: a file created with O_EXCL whose
+// body is the holder's pid. It serializes access to shared mutable files —
+// two sweeps pointed at the same -state file would otherwise race through
+// atomic renames and silently drop each other's completed cells.
+type Lock struct {
+	path string
+}
+
+// ErrLocked reports that a live process already holds the lock.
+var ErrLocked = errors.New("lock held")
+
+// Acquire takes the lock at path, failing fast with an ErrLocked-wrapping
+// error when a live process holds it. A stale lock — its recorded pid no
+// longer runs, or its content is unreadable — is removed and re-acquired.
+// (Steal-then-create is not atomic: two processes racing over the same
+// stale lock can both observe it stale, but only one wins the O_EXCL
+// re-creation; the loser reports ErrLocked.)
+func Acquire(path string) (*Lock, error) {
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			fmt.Fprintf(f, "%d\n", os.Getpid())
+			if cerr := f.Close(); cerr != nil {
+				os.Remove(path)
+				return nil, cerr
+			}
+			return &Lock{path: path}, nil
+		}
+		if !errors.Is(err, fs.ErrExist) {
+			return nil, err
+		}
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			if errors.Is(rerr, fs.ErrNotExist) {
+				continue // released between the create and the read: retry
+			}
+			return nil, rerr
+		}
+		if pid, ok := parseLockPid(data); ok && processAlive(pid) {
+			return nil, fmt.Errorf("%w by pid %d (%s)", ErrLocked, pid, path)
+		}
+		// Dead holder or unparseable content: stale, steal it.
+		os.Remove(path)
+	}
+	return nil, fmt.Errorf("%w (%s): lost the race re-acquiring a stale lock", ErrLocked, path)
+}
+
+// Release removes the lock file. Safe to call once per successful Acquire.
+func (l *Lock) Release() error {
+	return os.Remove(l.path)
+}
+
+func parseLockPid(data []byte) (int, bool) {
+	pid, err := strconv.Atoi(strings.TrimSpace(string(data)))
+	return pid, err == nil && pid > 0
+}
+
+// processAlive probes pid with signal 0: delivery (or EPERM — it exists
+// but belongs to someone else) means alive.
+func processAlive(pid int) bool {
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	serr := p.Signal(syscall.Signal(0))
+	return serr == nil || errors.Is(serr, syscall.EPERM)
+}

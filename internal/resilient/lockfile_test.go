@@ -1,0 +1,120 @@
+package resilient
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestLockExcludesSecondHolder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "state.json.lock")
+	l1, err := Acquire(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Acquire(path); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second acquire: err = %v, want ErrLocked", err)
+	}
+	if err := l1.Release(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Acquire(path)
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	l2.Release()
+}
+
+func TestLockStealsStaleLock(t *testing.T) {
+	dir := t.TempDir()
+
+	// Dead pid: pick a huge pid that cannot exist.
+	dead := filepath.Join(dir, "dead.lock")
+	if err := os.WriteFile(dead, []byte("999999999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := Acquire(dead)
+	if err != nil {
+		t.Fatalf("stale (dead pid) lock not stolen: %v", err)
+	}
+	l.Release()
+
+	// Corrupt content: unparseable pid is stale too.
+	garbage := filepath.Join(dir, "garbage.lock")
+	if err := os.WriteFile(garbage, []byte("not a pid"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err = Acquire(garbage)
+	if err != nil {
+		t.Fatalf("corrupt lock not stolen: %v", err)
+	}
+	l.Release()
+}
+
+func TestLockFileRecordsPid(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.lock")
+	l, err := Acquire(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pid, ok := parseLockPid(data)
+	if !ok || pid != os.Getpid() {
+		t.Fatalf("lock body %q, want our pid %d", data, os.Getpid())
+	}
+	if !processAlive(pid) {
+		t.Fatal("processAlive(self) = false")
+	}
+}
+
+func TestWithSignalsCancelsOnFirstSignal(t *testing.T) {
+	ctx, stop := WithSignals(context.Background())
+	defer stop()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("context not canceled after SIGINT")
+	}
+	if ctx.Err() != context.Canceled {
+		t.Fatalf("ctx.Err() = %v", ctx.Err())
+	}
+}
+
+func TestWithSignalsSecondSignalHardExits(t *testing.T) {
+	exited := make(chan int, 1)
+	old := exitFn
+	exitFn = func(code int) {
+		exited <- code
+		select {} // emulate os.Exit never returning (goroutine parks)
+	}
+	defer func() { exitFn = old }()
+
+	ctx, stop := WithSignals(context.Background())
+	defer stop()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	<-ctx.Done()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exited:
+		if code != ExitHardKill {
+			t.Fatalf("hard exit code = %d, want %d", code, ExitHardKill)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("second signal did not trigger the hard-exit path")
+	}
+}

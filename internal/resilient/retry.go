@@ -1,0 +1,102 @@
+package resilient
+
+import (
+	"context"
+	"math"
+	"time"
+)
+
+// Policy tunes retry behavior for Do. The zero value evaluates once with
+// no retries; setting MaxAttempts > 1 enables exponential backoff with
+// deterministic jitter between attempts.
+type Policy struct {
+	// MaxAttempts is the total evaluation budget (first try included);
+	// values below 1 behave as 1.
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt (default 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (default 10s).
+	MaxDelay time.Duration
+	// Multiplier is the exponential growth factor (default 2).
+	Multiplier float64
+	// Seed makes the jitter stream deterministic: the same (Seed, attempt)
+	// always yields the same delay, so retrying sweeps stay reproducible.
+	Seed uint64
+	// OnRetry, when non-nil, observes each retry decision before the
+	// backoff sleep: the attempt that failed, its error, and the delay.
+	OnRetry func(attempt int, err error, delay time.Duration)
+	// Sleep overrides the backoff sleep (tests); nil sleeps on a timer,
+	// returning early if ctx is canceled.
+	Sleep func(ctx context.Context, d time.Duration)
+}
+
+// splitmix64 is the jitter hash (same mixer the injection engine uses for
+// deterministic per-sample randomness).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// Backoff returns the jittered delay before attempt+1 given that `attempt`
+// (1-based) just failed: min(MaxDelay, BaseDelay·Multiplier^(attempt-1)),
+// then scaled into [d/2, d) by the deterministic jitter stream so
+// concurrent retriers spread out instead of thundering together.
+func (p Policy) Backoff(attempt int) time.Duration {
+	base := p.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxD := p.MaxDelay
+	if maxD <= 0 {
+		maxD = 10 * time.Second
+	}
+	mult := p.Multiplier
+	if mult < 1 {
+		mult = 2
+	}
+	d := float64(base) * math.Pow(mult, float64(attempt-1))
+	if d > float64(maxD) {
+		d = float64(maxD)
+	}
+	frac := float64(splitmix64(p.Seed^uint64(attempt)*0x9E3779B97F4A7C15)>>11) / float64(uint64(1)<<53)
+	return time.Duration(d/2 + d/2*frac)
+}
+
+// Do runs fn under panic isolation and the retry policy. Transient
+// failures (see Transient) are retried with backoff until the attempt
+// budget is spent or ctx is canceled; permanent failures — panics,
+// deterministic evaluation errors — return immediately. It reports the
+// final value, the number of attempts made, and the last error.
+func Do[T any](ctx context.Context, p Policy, fn func() (T, error)) (T, int, error) {
+	maxAttempts := p.MaxAttempts
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
+	var zero T
+	for attempt := 1; ; attempt++ {
+		v, err := Safe(fn)
+		if err == nil {
+			return v, attempt, nil
+		}
+		if attempt >= maxAttempts || !Transient(err) || ctx.Err() != nil {
+			return zero, attempt, err
+		}
+		delay := p.Backoff(attempt)
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err, delay)
+		}
+		if p.Sleep != nil {
+			p.Sleep(ctx, delay)
+		} else {
+			timer := time.NewTimer(delay)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				return zero, attempt, err
+			}
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package resilient
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+)
+
+// Exit statuses of signal-aware commands. ExitResumable is distinct from
+// plain failure (1) and usage errors (2) so wrappers and schedulers can
+// tell "interrupted mid-sweep, state flushed, rerun to resume" from "the
+// sweep itself is broken".
+const (
+	// ExitResumable: interrupted by SIGINT/SIGTERM after draining in-flight
+	// work and flushing resumable state; rerunning the same command resumes.
+	ExitResumable = 3
+	// ExitHardKill: the second-signal escape hatch fired — the process
+	// exited immediately without draining (128+SIGINT by convention).
+	ExitHardKill = 130
+)
+
+// exitFn is swapped by tests; production code exits the process.
+var exitFn = os.Exit
+
+// WithSignals returns a context canceled on the first SIGINT/SIGTERM, so
+// long-running work can drain in-flight cells and flush state. A second
+// signal is the escape hatch for operators who meant it: the process exits
+// immediately with ExitHardKill, no draining. The returned stop function
+// unregisters the handlers (call it once the guarded work is done, before
+// any interactive teardown).
+func WithSignals(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	done := make(chan struct{})
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+			cancel()
+		})
+	}
+	go func() {
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(os.Stderr, "\nreceived %v: draining in-flight work and flushing state (send again to exit immediately)\n", sig)
+			cancel()
+		case <-done:
+			return
+		}
+		select {
+		case sig := <-ch:
+			fmt.Fprintf(os.Stderr, "second %v: hard exit without draining\n", sig)
+			exitFn(ExitHardKill)
+		case <-done:
+		}
+	}()
+	return ctx, stop
+}

@@ -1,0 +1,37 @@
+package resilient
+
+import "time"
+
+// WithWatchdog runs fn under panic isolation with a wall-clock deadline.
+// When the deadline expires before fn returns, the call returns a
+// *TimeoutError and the worker goroutine running fn is abandoned: it keeps
+// running to completion in the background and its eventual result is
+// discarded. Abandonment (rather than killing) is deliberate — simulator
+// inner loops have no cancellation points, but every campaign run is
+// bounded by a cycle budget (inject.HangFactor × nominal), so an abandoned
+// evaluation always terminates eventually and leaks no goroutine forever.
+//
+// d <= 0 disables the deadline: fn runs inline (still panic-isolated).
+func WithWatchdog[T any](d time.Duration, fn func() (T, error)) (T, error) {
+	if d <= 0 {
+		return Safe(fn)
+	}
+	type result struct {
+		v   T
+		err error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		v, err := Safe(fn)
+		ch <- result{v, err}
+	}()
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case r := <-ch:
+		return r.v, r.err
+	case <-timer.C:
+		var zero T
+		return zero, &TimeoutError{After: d.String()}
+	}
+}

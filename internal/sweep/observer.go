@@ -17,9 +17,13 @@ const (
 	EventStart EventType = iota
 	// EventCellDone fires after each successfully evaluated cell.
 	EventCellDone
-	// EventCellFailed fires after a cell whose evaluation returned an
-	// error; the sweep records the failure and keeps going.
+	// EventCellFailed fires after a cell whose evaluation failed for good
+	// (attempt budget exhausted or permanent failure); the sweep records
+	// the classified failure and keeps going.
 	EventCellFailed
+	// EventCellRetry fires when a transiently failed cell (watchdog
+	// timeout, cache IO) is about to be retried after a backoff.
+	EventCellRetry
 	// EventDone fires once after the last cell (or after cancellation).
 	EventDone
 )
@@ -32,6 +36,8 @@ func (t EventType) String() string {
 		return "cell-done"
 	case EventCellFailed:
 		return "cell-failed"
+	case EventCellRetry:
+		return "cell-retry"
 	case EventDone:
 		return "done"
 	}
@@ -46,12 +52,23 @@ type Event struct {
 	Type  EventType
 	Combo string // cell events: combination name
 	Bench string // cell events: benchmark name
-	Err   string // EventCellFailed: the evaluation error
+	Err   string // EventCellFailed/EventCellRetry: the evaluation error
+	Kind  string // failure classification ("panic", "timeout", "io", "error")
 
 	Done     int // cells evaluated so far this run
 	Failed   int // cells failed so far this run
 	Total    int // cells in the grid
 	Restored int // cells resumed from the state file (not re-run)
+
+	// Attempt counts evaluations of the event's cell (EventCellRetry: the
+	// attempt that just failed; EventCellDone/Failed: total attempts).
+	Attempt int
+	// RetryDelay is the backoff before the next attempt (EventCellRetry).
+	RetryDelay time.Duration
+	// Quarantined is the process-wide count of corrupt campaign cache
+	// entries renamed aside and recomputed (monotonic; see
+	// inject.QuarantineStats) — degradation made visible as it happens.
+	Quarantined int64
 
 	Elapsed time.Duration
 	ETA     time.Duration // estimated time to finish remaining cells (0 if unknown)
@@ -103,7 +120,11 @@ func (o LogObserver) Event(ev Event) {
 			o.Printf("sweep: %d cells to run", ev.Total)
 		}
 	case EventCellFailed:
-		o.Printf("sweep: cell %s/%s failed: %s", ev.Combo, ev.Bench, ev.Err)
+		o.Printf("sweep: cell %s/%s failed [%s, %d attempt(s)]: %s",
+			ev.Combo, ev.Bench, ev.Kind, ev.Attempt, ev.Err)
+	case EventCellRetry:
+		o.Printf("sweep: cell %s/%s attempt %d failed [%s]: %s — retrying in %s",
+			ev.Combo, ev.Bench, ev.Attempt, ev.Kind, ev.Err, ev.RetryDelay.Round(time.Millisecond))
 	case EventCellDone:
 		if ev.Done%every != 0 {
 			return
@@ -115,6 +136,9 @@ func (o LogObserver) Event(ev Event) {
 				pruneRate = float64(ev.PrunedInjections) / float64(ev.TotalInjections)
 			}
 			line = renderStats(ev.Engine, pruneRate)
+		}
+		if ev.Quarantined > 0 {
+			line += fmt.Sprintf(" [%d cache entries quarantined]", ev.Quarantined)
 		}
 		o.Printf("sweep: %d/%d cells (%s elapsed, ETA %s)%s",
 			ev.Done+ev.Restored, ev.Total, ev.Elapsed.Round(time.Second),

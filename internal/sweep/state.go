@@ -83,7 +83,9 @@ type Key struct {
 
 // CellOutcome is the persisted result of one (combination, benchmark) cell.
 // A non-empty Err marks a failed evaluation; failed cells are re-run on
-// resume.
+// resume. Kind and Attempts record the failure classification and the
+// attempt budget spent (panic stacks are kept in memory only — they are
+// worthless to a resume and would bloat the state file).
 type CellOutcome struct {
 	SDCImp    F64    `json:"sdc_imp"`
 	DUEImp    F64    `json:"due_imp"`
@@ -91,6 +93,8 @@ type CellOutcome struct {
 	Area      F64    `json:"area"`
 	TargetMet bool   `json:"target_met"`
 	Err       string `json:"err,omitempty"`
+	Kind      string `json:"kind,omitempty"`
+	Attempts  int    `json:"attempts,omitempty"`
 }
 
 // stateFile is the on-disk schema (see DESIGN.md §7).
@@ -125,6 +129,13 @@ func loadState(path string, sw Sweep) (map[int]CellOutcome, bool) {
 	if err != nil {
 		return nil, false
 	}
+	return decodeState(data, sw)
+}
+
+// decodeState parses and validates a state file body against the running
+// sweep's identity. It is the trust boundary for resumable state — fuzzed
+// directly (FuzzStateDecode), it must never panic on arbitrary bytes.
+func decodeState(data []byte, sw Sweep) (map[int]CellOutcome, bool) {
 	var st stateFile
 	if err := json.Unmarshal(data, &st); err != nil {
 		return nil, false

@@ -10,18 +10,28 @@
 // Parallel and serial sweeps produce bit-identical aggregates: cell results
 // are stored by (combination, benchmark) index and aggregated in index
 // order, so worker count and scheduling order never reach the arithmetic.
+//
+// Long sweeps are fault-tolerant (see DESIGN.md §8): every cell evaluation
+// runs under panic isolation and an optional watchdog deadline, transient
+// failures retry with backoff, a canceled context (e.g. SIGINT) drains
+// in-flight cells and flushes state, and the state file is guarded by a
+// pid lock so two sweeps cannot clobber each other's resumable progress.
 package sweep
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clear/internal/bench"
 	"clear/internal/core"
 	"clear/internal/inject"
+	"clear/internal/resilient"
 )
 
 // EvalFunc evaluates one (combination, benchmark) cell.
@@ -74,18 +84,87 @@ type Options struct {
 	Observer Observer
 	// StatePath, when non-empty, enables persistence: completed cells are
 	// flushed to this JSON file and restored by the next run with a
-	// matching Key.
+	// matching Key. The file is guarded by StatePath+".lock" — a second
+	// sweep pointed at the same file fails fast with resilient.ErrLocked.
 	StatePath string
 	// FlushEvery is the number of completed cells between state flushes
 	// (default 16; lower is safer against kills, higher is less IO).
 	FlushEvery int
+	// CellTimeout bounds each cell evaluation: > 0 is a fixed per-cell
+	// watchdog deadline, 0 derives one adaptively (CellTimeoutFactor ×
+	// the slowest successful cell observed so far, never below
+	// AdaptiveTimeoutFloor), and < 0 disables the watchdog entirely.
+	CellTimeout time.Duration
+	// CellTimeoutFactor is the adaptive watchdog's safety factor over the
+	// slowest observed cell (<= 0 disables adaptive deadlines; 0 with
+	// CellTimeout 0 therefore means no watchdog).
+	CellTimeoutFactor float64
+	// Retry controls re-evaluation of transiently failing cells (watchdog
+	// timeouts, cache IO). Permanent failures — panics, deterministic eval
+	// errors — are never retried in-run; they are recorded and re-run on
+	// the next resume. The zero value evaluates each cell once.
+	Retry resilient.Policy
 }
 
-// CellFailure records one cell whose evaluation returned an error.
+// AdaptiveTimeoutFloor is the minimum adaptive watchdog deadline. Memoized
+// cells finish in microseconds; without a floor the first cold multi-second
+// campaign behind them would be condemned by a deadline derived from cache
+// hits.
+const AdaptiveTimeoutFloor = 2 * time.Minute
+
+// watchdog derives per-cell deadlines. A fixed timeout wins; otherwise the
+// deadline adapts to factor × the slowest successful cell seen so far.
+// Cells before the first completion run unbounded — there is nothing yet to
+// derive a nominal duration from.
+type watchdog struct {
+	fixed   time.Duration
+	factor  float64
+	slowest atomic.Int64 // nanoseconds of the slowest successful cell
+}
+
+func (w *watchdog) deadline() time.Duration {
+	if w.fixed != 0 {
+		return w.fixed
+	}
+	if w.factor <= 0 {
+		return 0
+	}
+	s := w.slowest.Load()
+	if s == 0 {
+		return 0
+	}
+	d := time.Duration(w.factor * float64(s))
+	if d < AdaptiveTimeoutFloor {
+		d = AdaptiveTimeoutFloor
+	}
+	return d
+}
+
+func (w *watchdog) observe(d time.Duration) {
+	for {
+		cur := w.slowest.Load()
+		if int64(d) <= cur {
+			return
+		}
+		if w.slowest.CompareAndSwap(cur, int64(d)) {
+			return
+		}
+	}
+}
+
+// CellFailure records one cell whose evaluation failed after exhausting
+// its attempt budget.
 type CellFailure struct {
 	Combo string
 	Bench string
 	Err   string
+	// Kind classifies the failure ("panic", "timeout", "io", "error");
+	// see resilient.KindOf.
+	Kind string
+	// Attempts counts evaluations of the cell this run, retries included.
+	Attempts int
+	// Stack is the captured goroutine stack when the failure was a panic.
+	Stack string
 }
 
 // Result is a finished sweep.
@@ -98,16 +177,18 @@ type Result struct {
 	// (improvement-at-metric, energy) plane.
 	Frontier []core.ParetoPoint
 	// Evaluated and Restored count cells computed this run vs. resumed
-	// from the state file; Failures lists cells whose evaluation errored.
+	// from the state file; Failures lists cells whose evaluation failed.
 	Evaluated int
 	Restored  int
 	Failures  []CellFailure
 }
 
-// Run executes a sweep. Cell evaluations run on a work-stealing pool;
-// failures are recorded and skipped rather than aborting the run. On a
-// canceled context the completed cells are flushed to the state file (when
-// persistence is on) and ctx.Err() is returned.
+// Run executes a sweep. Cell evaluations run on a work-stealing pool under
+// panic isolation, per-cell watchdog deadlines, and a transient-failure
+// retry policy; failures are classified and recorded rather than aborting
+// the run. On a canceled context the in-flight cells drain, completed
+// cells are flushed to the state file (when persistence is on), and
+// ctx.Err() is returned.
 func Run(ctx context.Context, sw Sweep, opt Options) (*Result, error) {
 	obs := opt.Observer
 	if obs == nil {
@@ -116,6 +197,14 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Result, error) {
 	flushEvery := opt.FlushEvery
 	if flushEvery <= 0 {
 		flushEvery = 16
+	}
+	if opt.StatePath != "" {
+		lock, err := resilient.Acquire(opt.StatePath + ".lock")
+		if err != nil {
+			return nil, fmt.Errorf("sweep: state file %q unavailable: %w (another sweep appears to own it; remove the .lock file if that process is gone)",
+				opt.StatePath, err)
+		}
+		defer lock.Release()
 	}
 	nB := len(sw.Benches)
 	total := len(sw.Combos) * nB
@@ -141,10 +230,13 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Result, error) {
 
 	obs.Event(Event{Type: EventStart, Total: total, Restored: restored})
 
+	wd := &watchdog{fixed: opt.CellTimeout, factor: opt.CellTimeoutFactor}
+
 	start := time.Now()
-	var mu sync.Mutex // guards done/failed counts and state flushes
+	var mu sync.Mutex // guards done/failed counts, stacks, and state flushes
 	done, failed := 0, 0
 	sinceFlush := 0
+	stacks := make(map[int]string) // idx -> panic stack (this run only)
 
 	flushLocked := func() {
 		if opt.StatePath != "" {
@@ -158,7 +250,24 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Result, error) {
 	runWorkStealing(ctx, len(pending), opt.Workers, func(_, k int) {
 		idx := pending[k]
 		ci, bi := idx/nB, idx%nB
-		out, err := sw.Eval(sw.Combos[ci], sw.Benches[bi])
+		comboName, benchName := sw.Combos[ci].Name(), sw.Benches[bi].Name
+
+		policy := opt.Retry
+		policy.OnRetry = func(attempt int, err error, delay time.Duration) {
+			obs.Event(Event{
+				Type: EventCellRetry, Combo: comboName, Bench: benchName,
+				Err: err.Error(), Kind: resilient.KindOf(err),
+				Attempt: attempt, RetryDelay: delay,
+				Quarantined: inject.QuarantineStats(),
+			})
+		}
+
+		cellStart := time.Now()
+		out, attempts, err := resilient.Do(ctx, policy, func() (core.Outcome, error) {
+			return resilient.WithWatchdog(wd.deadline(), func() (core.Outcome, error) {
+				return sw.Eval(sw.Combos[ci], sw.Benches[bi])
+			})
+		})
 		co := CellOutcome{
 			SDCImp:    F64(out.SDCImp),
 			DUEImp:    F64(out.DUEImp),
@@ -167,7 +276,9 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Result, error) {
 			TargetMet: out.TargetMet,
 		}
 		if err != nil {
-			co = CellOutcome{Err: err.Error()}
+			co = CellOutcome{Err: err.Error(), Kind: resilient.KindOf(err), Attempts: attempts}
+		} else {
+			wd.observe(time.Since(cellStart))
 		}
 
 		mu.Lock()
@@ -175,20 +286,25 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Result, error) {
 		done++
 		if err != nil {
 			failed++
+			if st := resilient.StackOf(err); st != "" {
+				stacks[idx] = st
+			}
 		}
 		sinceFlush++
 		if sinceFlush >= flushEvery {
 			flushLocked()
 		}
 		ev := Event{
-			Type:     EventCellDone,
-			Combo:    sw.Combos[ci].Name(),
-			Bench:    sw.Benches[bi].Name,
-			Done:     done,
-			Failed:   failed,
-			Total:    total,
-			Restored: restored,
-			Elapsed:  time.Since(start),
+			Type:        EventCellDone,
+			Combo:       comboName,
+			Bench:       benchName,
+			Done:        done,
+			Failed:      failed,
+			Total:       total,
+			Restored:    restored,
+			Elapsed:     time.Since(start),
+			Attempt:     attempts,
+			Quarantined: inject.QuarantineStats(),
 		}
 		if done > 0 {
 			remaining := len(pending) - done
@@ -199,6 +315,7 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Result, error) {
 		if err != nil {
 			ev.Type = EventCellFailed
 			ev.Err = err.Error()
+			ev.Kind = resilient.KindOf(err)
 		}
 		if sw.Stats != nil {
 			s := sw.Stats()
@@ -227,9 +344,12 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Result, error) {
 	for idx, co := range cells {
 		if co != nil && co.Err != "" {
 			res.Failures = append(res.Failures, CellFailure{
-				Combo: sw.Combos[idx/nB].Name(),
-				Bench: sw.Benches[idx%nB].Name,
-				Err:   co.Err,
+				Combo:    sw.Combos[idx/nB].Name(),
+				Bench:    sw.Benches[idx%nB].Name,
+				Err:      co.Err,
+				Kind:     co.Kind,
+				Attempts: co.Attempts,
+				Stack:    stacks[idx],
 			})
 		}
 	}
@@ -238,6 +358,12 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Result, error) {
 	obs.Event(Event{Type: EventDone, Done: evaluated, Failed: nFailed,
 		Total: total, Restored: restored, Elapsed: time.Since(start)})
 	return res, nil
+}
+
+// IsLocked reports whether a Run error means another sweep holds the state
+// file's lock.
+func IsLocked(err error) bool {
+	return errors.Is(err, resilient.ErrLocked)
 }
 
 // frontierOf projects complete rows onto the (improvement, energy) plane of
