@@ -37,9 +37,11 @@ import (
 	"clear/internal/core"
 	"clear/internal/experiments"
 	"clear/internal/inject"
+	"clear/internal/power"
 	"clear/internal/prog"
 	"clear/internal/recovery"
 	"clear/internal/sim"
+	"clear/internal/technique"
 )
 
 // Core kinds.
@@ -147,6 +149,109 @@ func InjectOne(kind CoreKind, p *Program, bit, cycle, nomCycles int) InjectionOu
 // Enumerate returns the valid cross-layer combinations of a core
 // (417 for InO, 169 for OoO; 586 total — paper Table 18).
 func Enumerate(kind CoreKind) []Combo { return core.Enumerate(kind) }
+
+// EnumerateWith returns the valid combinations of a core restricted to the
+// techniques a filter allows (nil filter = all).
+func EnumerateWith(kind CoreKind, f *TechniqueFilter) []Combo {
+	return core.EnumerateWith(kind, f)
+}
+
+// ComboFor builds the combination activating the named registered
+// techniques under the given recovery, in canonical order regardless of the
+// argument order.
+func ComboFor(names []string, rec RecoveryKind) (Combo, error) {
+	return core.ComboFor(names, rec)
+}
+
+// Technique is one pluggable resilience technique: identity (name, stack
+// layer, applicable cores) plus hardware cost. Optional capability
+// interfaces (GammaContributor, ProgramTransformer, CommitHooker,
+// TechniqueRecoveryCompat, FFProtector, CampaignTagger) extend it; a
+// registered technique participates in enumeration, evaluation, cost
+// tables, and the sweep CLI without any engine changes.
+type Technique = technique.Technique
+
+// TechniqueInfo is an embeddable identity block for implementing Technique
+// (name, layer, core restriction, optional display note, zero base cost).
+type TechniqueInfo = technique.Info
+
+// TechniqueLayer is the system-stack layer of a technique.
+type TechniqueLayer = technique.Layer
+
+// Stack layers for registering techniques.
+const (
+	LayerCircuit      = technique.Circuit
+	LayerLogic        = technique.Logic
+	LayerArchitecture = technique.Architecture
+	LayerSoftware     = technique.Software
+	LayerAlgorithm    = technique.Algorithm
+	LayerRecovery     = technique.Recovery
+)
+
+// Optional Technique capability interfaces.
+type (
+	// GammaContributor contributes γ flip-flop/execution overheads.
+	GammaContributor = technique.GammaContributor
+	// ProgramTransformer rewrites the benchmark program.
+	ProgramTransformer = technique.Transformer
+	// CommitHooker attaches a commit-stream checker to injection runs.
+	CommitHooker = technique.Hooker
+	// TechniqueRecoveryCompat declares which recovery mechanisms the
+	// technique's detections can drive (enumeration constraints).
+	TechniqueRecoveryCompat = technique.RecoveryCompat
+	// FFProtector participates in Heuristic 1 per-flip-flop insertion.
+	FFProtector = technique.FFProtector
+	// CampaignTagger contributes a frozen campaign cache-tag fragment.
+	CampaignTagger = technique.Tagger
+)
+
+// TechniqueEnv is the context a program transform runs in.
+type TechniqueEnv = technique.Env
+
+// TechniqueOptions carries the software-technique knobs of a variant.
+type TechniqueOptions = technique.Options
+
+// CostModel selects the hardware cost model (returned by PowerInO/PowerOoO
+// internally; Technique.Cost receives it).
+type CostModel = power.Model
+
+// Cost is an area/power/execution-time overhead triple.
+type Cost = power.Cost
+
+// CommitHook observes retiring instructions during an injection run;
+// returning true signals a detection.
+type CommitHook = sim.CommitHook
+
+// CommitEvent is one retired instruction as seen by a CommitHook.
+type CommitEvent = sim.CommitEvent
+
+// RegisterTechnique adds a technique to the default registry. Registration
+// order defines the canonical ordering used by combination names,
+// enumeration, and cost tables; built-ins register first.
+func RegisterTechnique(t Technique) error { return technique.Default().Register(t) }
+
+// UnregisterTechnique removes a registered technique by name, reporting
+// whether it was present. Built-ins can be removed too — intended for
+// tests and experiments.
+func UnregisterTechnique(name string) bool { return technique.Default().Unregister(name) }
+
+// Techniques lists the registered non-recovery techniques in canonical
+// order.
+func Techniques() []Technique { return technique.Default().Techniques() }
+
+// LookupTechnique finds a registered technique by name.
+func LookupTechnique(name string) (Technique, error) { return technique.Default().Lookup(name) }
+
+// TechniqueFilter restricts enumeration to a subset of the registered
+// techniques (the sweep CLI's -techniques flag).
+type TechniqueFilter = technique.Filter
+
+// ParseTechniqueFilter parses a comma-separated technique selection
+// ("LEAP-DICE,Parity" includes; "-EDS" excludes; empty = nil = all)
+// against the default registry.
+func ParseTechniqueFilter(spec string) (*TechniqueFilter, error) {
+	return technique.ParseFilter(spec, technique.Default())
+}
 
 // Experiment regenerates one table or figure of the paper.
 type Experiment = experiments.Experiment

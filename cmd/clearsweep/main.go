@@ -7,7 +7,10 @@
 // The exploration itself lives in internal/sweep: cells run concurrently
 // on a work-stealing pool (-workers), and -state points at a JSON file
 // that makes the sweep resumable — an interrupted run picks up from its
-// completed cells. Long runs are fault-tolerant: cell panics are isolated
+// completed cells. -techniques restricts the enumeration to a subset of
+// the registered techniques (include list or -name excludes); the state
+// file is keyed on the filter, so a resume under a different selection
+// starts fresh instead of mixing grids. Long runs are fault-tolerant: cell panics are isolated
 // and classified, hung cells trip a watchdog (-cell-timeout or the
 // adaptive -cell-timeout-factor), transient failures retry with backoff
 // (-retries), SIGINT/SIGTERM drains in-flight cells and flushes state
@@ -35,6 +38,7 @@ import (
 	"clear/internal/inject"
 	"clear/internal/resilient"
 	"clear/internal/sweep"
+	"clear/internal/technique"
 )
 
 func main() {
@@ -52,6 +56,8 @@ func main() {
 		"adaptive watchdog: deadline = factor x slowest successful cell (used when -cell-timeout is 0; <= 0 disables)")
 	retries := flag.Int("retries", 2, "retry budget for transiently failing cells (timeouts, cache IO)")
 	maxCombos := flag.Int("max-combos", 0, "evaluate only the first N combinations (0 = all; smoke tests)")
+	techniques := flag.String("techniques", "",
+		"comma-separated technique filter: names include (e.g. LEAP-DICE,Parity), -name excludes (e.g. -EDS); empty = all")
 	flag.Parse()
 
 	var kind inject.CoreKind
@@ -85,6 +91,12 @@ func main() {
 	defer stop()
 
 	sw := sweep.New(e, benches, core.SDC, tgt)
+	if filter, err := technique.ParseFilter(*techniques, technique.Default()); err != nil {
+		log.Fatalf("-techniques: %v", err)
+	} else if filter != nil {
+		sw.ApplyFilter(e, filter)
+		log.Printf("technique filter: %s (%d combinations)", filter.Spec(), len(sw.Combos))
+	}
 	if *maxCombos > 0 && *maxCombos < len(sw.Combos) {
 		sw.Combos = sw.Combos[:*maxCombos]
 	}

@@ -1,0 +1,115 @@
+// Command techlint checks that every registered resilience technique is
+// wired through all user-facing surfaces of the framework — run in CI so a
+// technique added to the registry (or a registry refactor) cannot silently
+// drop out of a table, the enumeration, or the public API.
+//
+// Checks:
+//
+//  1. the default registry validates (layer declared, at least one
+//     applicable core, finite cost contributions, recovery coverage);
+//  2. every non-recovery technique has at least one row in the standalone
+//     cost table (Table 3, internal/experiments);
+//  3. every technique appears in at least one enumerated combination on
+//     each core it applies to, and combination names mention it;
+//  4. the public clear package façade exposes the same registry: identical
+//     technique list, working lookups, and ComboFor round-trips.
+//
+// Exit status 0 when all checks pass; 1 with one line per problem
+// otherwise.
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"clear"
+	"clear/internal/core"
+	"clear/internal/experiments"
+	"clear/internal/inject"
+	"clear/internal/recovery"
+	"clear/internal/technique"
+)
+
+func main() {
+	var problems []string
+	fail := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	reg := technique.Default()
+	if err := reg.Validate(); err != nil {
+		fail("registry validation: %v", err)
+	}
+
+	// 2. Table 3 coverage: the standalone-technique table derives its rows
+	// from the registry; make sure the derivation dropped nobody.
+	rows := experiments.TechniqueRowNames()
+	for _, t := range reg.Techniques() {
+		if !rows[t.Name()] {
+			fail("technique %q has no row in the standalone-technique table (Table 3)", t.Name())
+		}
+	}
+
+	// 3. Enumeration coverage per applicable core, and name round-trips.
+	for _, coreName := range technique.CoreKinds {
+		kind := inject.InO
+		if coreName == "OoO" {
+			kind = inject.OoO
+		}
+		seen := map[string]bool{}
+		for _, c := range core.Enumerate(kind) {
+			for _, t := range c.ActiveTechniques() {
+				seen[t.Name()] = true
+			}
+		}
+		for _, t := range reg.Techniques() {
+			if t.AppliesTo(coreName) && !seen[t.Name()] {
+				fail("technique %q applies to %s but appears in no enumerated combination there",
+					t.Name(), coreName)
+			}
+		}
+	}
+	for _, t := range reg.Techniques() {
+		c, err := core.ComboFor([]string{t.Name()}, recovery.None)
+		if err != nil {
+			fail("ComboFor(%q): %v", t.Name(), err)
+			continue
+		}
+		if !strings.Contains(c.Name(), t.Name()) {
+			fail("combination built from %q is named %q — name does not mention the technique",
+				t.Name(), c.Name())
+		}
+	}
+
+	// 4. Public façade coverage: the clear package must expose the same
+	// registry contents (a drifted re-export would hide techniques from
+	// external users even though the internal engine knows them).
+	pub := clear.Techniques()
+	if len(pub) != len(reg.Techniques()) {
+		fail("clear.Techniques() exposes %d techniques, registry has %d",
+			len(pub), len(reg.Techniques()))
+	}
+	for i, t := range reg.Techniques() {
+		if i < len(pub) && pub[i].Name() != t.Name() {
+			fail("clear.Techniques()[%d] = %q, registry says %q", i, pub[i].Name(), t.Name())
+		}
+		if _, err := clear.LookupTechnique(t.Name()); err != nil {
+			fail("clear.LookupTechnique(%q): %v", t.Name(), err)
+		}
+	}
+	for _, kind := range []clear.CoreKind{clear.InO, clear.OoO} {
+		if pn, in := len(clear.Enumerate(kind)), len(core.Enumerate(kind)); pn != in {
+			fail("clear.Enumerate(%v) yields %d combos, internal enumeration %d", kind, pn, in)
+		}
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "techlint:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("techlint: %d techniques, %d recoveries — all surfaces covered\n",
+		len(reg.Techniques()), len(reg.Recoveries()))
+}

@@ -4,12 +4,12 @@ import (
 	"math"
 	"strings"
 
-	"clear/internal/archres"
 	"clear/internal/bench"
 	"clear/internal/inject"
 	"clear/internal/power"
 	"clear/internal/recovery"
 	"clear/internal/stack"
+	"clear/internal/technique"
 )
 
 // Combo is one cross-layer combination: a set of techniques spanning the
@@ -20,32 +20,23 @@ type Combo struct {
 	Recovery          recovery.Kind
 }
 
-// Name renders a readable combination label.
+// Name renders a readable combination label: the active techniques in
+// canonical registry order (this is the single source of the display
+// ordering that used to be duplicated here and in the enumeration).
 func (c Combo) Name() string {
 	var parts []string
-	switch c.Variant.ABFT {
-	case ABFTCorr:
-		parts = append(parts, "ABFT-c")
-	case ABFTDet:
-		parts = append(parts, "ABFT-d")
+	seen := map[string]bool{}
+	for _, t := range technique.Default().Techniques() {
+		seen[t.Name()] = true
+		if c.Active(t.Name()) {
+			parts = append(parts, t.Name())
+		}
 	}
-	for _, s := range c.Variant.SW {
-		parts = append(parts, s.String())
-	}
-	if c.Variant.Monitor {
-		parts = append(parts, "Monitor")
-	}
-	if c.Variant.DFC {
-		parts = append(parts, "DFC")
-	}
-	if c.DICE {
-		parts = append(parts, "LEAP-DICE")
-	}
-	if c.Parity {
-		parts = append(parts, "Parity")
-	}
-	if c.EDS {
-		parts = append(parts, "EDS")
+	// extras whose technique has since been unregistered still label
+	for _, x := range c.Variant.Extra {
+		if !seen[x] {
+			parts = append(parts, x)
+		}
 	}
 	if len(parts) == 0 {
 		parts = append(parts, "unprotected")
@@ -72,38 +63,48 @@ type Outcome struct {
 }
 
 // highLevelGamma returns the γ overhead factors contributed by the high
-// layers of a combination: checker flip-flops and execution-time increase.
+// layers of a combination: checker flip-flops and execution-time increase,
+// gathered from the active techniques' GammaContributors. The recovery's
+// flip-flop overhead is applied via PlanFFOverhead, not here; only its
+// execution-time impact (pipeline flush) enters.
 func (e *Engine) highLevelGamma(c Combo, execOverhead float64) float64 {
 	var ffOv, timeOv []float64
-	if c.Variant.DFC {
-		ffOv = append(ffOv, archres.DFCFFOverhead(e.Kind.String()))
-		if e.Kind == inject.InO {
-			timeOv = append(timeOv, archres.DFCExecImpactInO)
-		} else {
-			timeOv = append(timeOv, archres.DFCExecImpactOoO)
+	coreName := e.Kind.String()
+	for _, t := range c.ActiveTechniques() {
+		gc, ok := t.(technique.GammaContributor)
+		if !ok {
+			continue
 		}
-	}
-	if c.Variant.Monitor {
-		ffOv = append(ffOv, archres.MonitorFFOverhead)
+		if f := gc.GammaFF(coreName); f != 0 {
+			ffOv = append(ffOv, f)
+		}
+		if x := gc.GammaExec(coreName); x != 0 {
+			timeOv = append(timeOv, x)
+		}
 	}
 	if execOverhead > 0 {
 		timeOv = append(timeOv, execOverhead)
 	}
-	if c.Recovery == recovery.Flush {
-		timeOv = append(timeOv, recovery.Cost(recovery.Flush, "InO").ExecTime)
+	if rt := technique.Default().Recovery(c.Recovery); rt != nil {
+		if gc, ok := rt.(technique.GammaContributor); ok {
+			if x := gc.GammaExec(coreName); x != 0 {
+				timeOv = append(timeOv, x)
+			}
+		}
 	}
 	return stack.Gamma(ffOv, timeOv)
 }
 
 // highLevelCost sums the hardware/execution costs of a combination's high
-// layers (the software/algorithm execution overhead is measured).
+// layers (the software/algorithm execution overhead is measured): the fixed
+// Cost contributions of the active techniques.
 func (e *Engine) highLevelCost(c Combo, execOverhead float64) power.Cost {
 	cost := power.Cost{ExecTime: execOverhead}
-	if c.Variant.DFC {
-		cost = cost.Plus(archres.DFCCost(e.Model))
-	}
-	if c.Variant.Monitor {
-		cost = cost.Plus(archres.MonitorCost(e.Model))
+	coreName := e.Kind.String()
+	for _, t := range c.ActiveTechniques() {
+		if tc := t.Cost(e.Model, coreName); tc != (power.Cost{}) {
+			cost = cost.Plus(tc)
+		}
 	}
 	return cost
 }

@@ -10,12 +10,9 @@ package core
 
 import (
 	"fmt"
-	"strings"
 	"sync"
 	"sync/atomic"
 
-	"clear/internal/abft"
-	"clear/internal/archres"
 	"clear/internal/bench"
 	"clear/internal/ff"
 	"clear/internal/inject"
@@ -28,6 +25,7 @@ import (
 	"clear/internal/sim"
 	"clear/internal/singleflight"
 	"clear/internal/swres"
+	"clear/internal/technique"
 )
 
 // SWTechnique is a software-layer technique selector inside a combination.
@@ -156,59 +154,21 @@ func (e *Engine) Benchmarks() []*bench.Benchmark {
 // high layers of a combination.
 type Variant struct {
 	ABFT    ABFTMode
-	SW      []SWTechnique // applied in canonical order: CFCSS, assertions, EDDI
+	SW      []SWTechnique // canonicalized to registry order by Name/Tag
 	AssertK swres.AssertKind
 	EDDISrb bool // store-readback
 	SelEDDI bool
 	DFC     bool
 	Monitor bool
+	// Extra names third-party registered techniques active in the variant
+	// (the built-ins use the concrete fields above).
+	Extra []string
 }
 
-// Tag returns the cache tag of the variant ("base" when empty).
-func (v Variant) Tag() string {
-	var parts []string
-	switch v.ABFT {
-	case ABFTCorr:
-		parts = append(parts, "abftc")
-	case ABFTDet:
-		parts = append(parts, "abftd")
-	}
-	for _, s := range v.SW {
-		switch s {
-		case SWAssertions:
-			parts = append(parts, "assert-"+v.AssertK.String())
-		case SWCFCSS:
-			parts = append(parts, "cfcss")
-		case SWEDDI:
-			if v.SelEDDI {
-				parts = append(parts, "seddi")
-			} else if v.EDDISrb {
-				parts = append(parts, "eddisrb")
-			} else {
-				parts = append(parts, "eddi")
-			}
-		}
-	}
-	if v.DFC {
-		parts = append(parts, "dfc"+versionSuffix(archres.DFCVersion))
-	}
-	if v.Monitor {
-		parts = append(parts, "mon"+versionSuffix(archres.MonitorVersion))
-	}
-	if len(parts) == 0 {
-		return "base"
-	}
-	return strings.Join(parts, "+")
-}
-
-// versionSuffix renders a checker version into a cache-tag suffix; version
-// 1 is the empty suffix so existing campaign caches stay valid.
-func versionSuffix(v int) string {
-	if v <= 1 {
-		return ""
-	}
-	return fmt.Sprintf(".v%d", v)
-}
+// Tag returns the campaign cache tag of the variant ("base" when empty):
+// the frozen fragments of the active campaign-affecting techniques, in
+// registry-derived canonical tag order.
+func (v Variant) Tag() string { return v.tagOf() }
 
 func (v Variant) has(s SWTechnique) bool {
 	for _, t := range v.SW {
@@ -252,74 +212,83 @@ func (e *Engine) BuildProgram(b *bench.Benchmark, v Variant) (*prog.Program, err
 	return p, err
 }
 
-// buildProgramUncached performs the actual program transformation stack.
+// buildProgramUncached performs the actual program transformation stack:
+// the variant's active Transformers apply in canonical registry order
+// (algorithm kernels first, then control-flow signatures on the clean CFG,
+// then assertions, then duplication).
 func (e *Engine) buildProgramUncached(b *bench.Benchmark, v Variant) (*prog.Program, error) {
-	var p *prog.Program
-	var err error
-	switch {
-	case v.ABFT == ABFTCorr && abft.Supports(b.Name, abft.Correction):
-		p, err = abft.Program(b.Name, abft.Correction)
-	case v.ABFT == ABFTDet && abft.Supports(b.Name, abft.Detection):
-		p, err = abft.Program(b.Name, abft.Detection)
-	default:
-		p, err = b.Program()
-	}
+	p, err := b.Program()
 	if err != nil {
 		return nil, err
 	}
-	// canonical transform order: control-flow signatures on the clean CFG,
-	// then assertions, then duplication
-	if v.has(SWCFCSS) {
-		if p, err = swres.CFCSS(p); err != nil {
-			return nil, err
+	coreName := e.Kind.String()
+	opt := v.options()
+	reg := technique.Default()
+	// Multi-input training (assertions) replays the transforms preceding the
+	// current one on the alternate-input program so check sites line up; an
+	// active algorithm-layer technique replaces the kernel, so no alternate
+	// input exists for it and training is single-input.
+	algActive := false
+	for _, t := range reg.Techniques() {
+		if t.Layer() == technique.Algorithm && v.activeName(t.Name()) {
+			algActive = true
+			break
 		}
 	}
-	if v.has(SWAssertions) {
-		// Assertion invariants train on the alternate input set as well
-		// (the paper's multi-input training), tracked through the same
-		// preceding transforms so check sites line up.
-		var trainers []*prog.Program
-		if v.ABFT == ABFTNone {
-			if alt, err := b.AltProgram(); err == nil {
-				altP := alt
-				if v.has(SWCFCSS) {
-					altP, err = swres.CFCSS(altP)
+	var applied []technique.Transformer
+	for _, t := range reg.Techniques() {
+		if !v.activeName(t.Name()) {
+			continue
+		}
+		tr, ok := t.(technique.Transformer)
+		if !ok {
+			continue
+		}
+		env := &technique.Env{Core: coreName, Bench: b.Name, Opt: opt}
+		if !algActive {
+			prior := applied // snapshot: transforms preceding this one
+			env.AltTrainer = func() (*prog.Program, error) {
+				alt, err := b.AltProgram()
+				if err != nil {
+					return nil, nil // benchmark has no alternate input
+				}
+				for _, pt := range prior {
+					alt, err = pt.Transform(alt, &technique.Env{Core: coreName, Bench: b.Name, Opt: opt})
 					if err != nil {
 						return nil, err
 					}
 				}
-				trainers = append(trainers, altP)
+				return alt, nil
 			}
 		}
-		if p, err = swres.AssertionsTrained(p, trainers, v.AssertK); err != nil {
+		if p, err = tr.Transform(p, env); err != nil {
 			return nil, err
 		}
-	}
-	if v.has(SWEDDI) {
-		if v.SelEDDI {
-			p, err = swres.SelectiveEDDI(p)
-		} else {
-			p, err = swres.EDDI(p, v.EDDISrb)
-		}
-		if err != nil {
-			return nil, err
-		}
+		applied = append(applied, tr)
 	}
 	return p, nil
 }
 
-// hookFactory builds the architecture-level checker chain of a variant.
+// hookFactory builds the architecture-level checker chain of a variant from
+// the registry's Hookers: each active checker sees the full commit stream
+// and detections are ORed.
 func (v Variant) hookFactory() func(*prog.Program) sim.CommitHook {
-	if !v.DFC && !v.Monitor {
+	var hookers []technique.Hooker
+	for _, t := range technique.Default().Techniques() {
+		if !v.activeName(t.Name()) {
+			continue
+		}
+		if h, ok := t.(technique.Hooker); ok {
+			hookers = append(hookers, h)
+		}
+	}
+	if len(hookers) == 0 {
 		return nil
 	}
 	return func(p *prog.Program) sim.CommitHook {
-		var hooks []sim.CommitHook
-		if v.DFC {
-			hooks = append(hooks, archres.NewDFC(p))
-		}
-		if v.Monitor {
-			hooks = append(hooks, archres.NewMonitor(p))
+		hooks := make([]sim.CommitHook, len(hookers))
+		for i, h := range hookers {
+			hooks[i] = h.Hook(p)
 		}
 		if len(hooks) == 1 {
 			return hooks[0]

@@ -4,98 +4,81 @@ import (
 	"clear/internal/inject"
 	"clear/internal/recovery"
 	"clear/internal/swres"
+	"clear/internal/technique"
 )
 
-// Enumeration of the 586 valid cross-layer combinations (paper Table 18).
+// Enumeration of the 586 valid cross-layer combinations (paper Table 18),
+// driven entirely by the technique registry.
 //
-// Per core, the library techniques form a base set; combinations are:
+// Per core, the registered non-algorithm techniques applicable to the core
+// form a base set; combinations are:
 //   - no recovery: every non-empty subset of the base set;
-//   - flush/RoB recovery: non-empty subsets of the techniques whose
-//     detections that recovery can replay (circuit/logic detection, plus
-//     the monitor core on OoO — LEAP-DICE is implicitly added by
-//     Heuristic 1 for unrecoverable flip-flops);
-//   - IR/EIR recovery: non-empty subsets of the detection techniques with
-//     bounded latency (EDS, parity, DFC — and the monitor core on OoO);
-//   - ABFT correction composes with all of the above; ABFT detection has
-//     unbounded detection latency, so it only composes with the
-//     no-recovery combinations; each ABFT flavor also stands alone.
+//   - each applicable recovery mechanism: non-empty subsets of the base
+//     techniques whose detections that recovery can replay (the registry's
+//     RecoveryCompat declarations — circuit/logic detection everywhere,
+//     plus the monitor core for RoB/IR/EIR and DFC for IR/EIR; LEAP-DICE
+//     is implicitly added by Heuristic 1 for unrecoverable flip-flops);
+//   - each algorithm-layer technique stands alone and stacks on every base
+//     combination whose recovery it is compatible with (ABFT correction:
+//     all; ABFT detection has unbounded detection latency, so it stacks
+//     only on the no-recovery combinations).
 //
 // InO: 127 + 3 + 14 = 144; ×2 for ABFT-correction stacking + 127 ABFT-
 // detection stacking + 2 standalone = 417. OoO: 31 + 7 + 30 = 68; ×2 + 31
-// + 2 = 169. Total 586.
+// + 2 = 169. Total 586. A third-party registered technique enlarges the
+// base set (or the algorithm list) the same way.
 
-// baseTechnique is an element of the per-core base set.
-type baseTechnique int
-
-const (
-	tDICE baseTechnique = iota
-	tEDS
-	tParity
-	tDFC
-	tMonitor
-	tAssert
-	tCFCSS
-	tEDDI
-)
-
-func baseSet(kind inject.CoreKind) []baseTechnique {
-	if kind == inject.InO {
-		return []baseTechnique{tDICE, tEDS, tParity, tDFC, tAssert, tCFCSS, tEDDI}
-	}
-	return []baseTechnique{tDICE, tEDS, tParity, tDFC, tMonitor}
-}
-
-// comboFromSubset builds a Combo from a subset bitmask over set.
-func comboFromSubset(set []baseTechnique, mask int, rec recovery.Kind, ab ABFTMode) Combo {
-	c := Combo{Recovery: rec}
-	c.Variant.ABFT = ab
-	c.Variant.AssertK = swres.AssertCombined
-	c.Variant.EDDISrb = true
-	for i, t := range set {
-		if mask&(1<<i) == 0 {
+// enumSets resolves the registry into the enumeration ingredients for a
+// core under a filter: the algorithm-layer techniques, the base set, and
+// the applicable recovery kinds, all in canonical registry order.
+func enumSets(kind inject.CoreKind, f *technique.Filter) (algs, base []technique.Technique, recs []recovery.Kind) {
+	coreName := kind.String()
+	reg := technique.Default()
+	for _, t := range reg.Techniques() {
+		if !t.AppliesTo(coreName) || !f.Allows(t.Name()) {
 			continue
 		}
-		switch t {
-		case tDICE:
-			c.DICE = true
-		case tEDS:
-			c.EDS = true
-		case tParity:
-			c.Parity = true
-		case tDFC:
-			c.Variant.DFC = true
-		case tMonitor:
-			c.Variant.Monitor = true
-		case tAssert:
-			c.Variant.SW = append(c.Variant.SW, SWAssertions)
-		case tCFCSS:
-			c.Variant.SW = append(c.Variant.SW, SWCFCSS)
-		case tEDDI:
-			c.Variant.SW = append(c.Variant.SW, SWEDDI)
+		if t.Layer() == technique.Algorithm {
+			algs = append(algs, t)
+		} else {
+			base = append(base, t)
 		}
 	}
-	// canonical software order: CFCSS, assertions, EDDI
-	ordered := make([]SWTechnique, 0, len(c.Variant.SW))
-	for _, want := range []SWTechnique{SWCFCSS, SWAssertions, SWEDDI} {
-		for _, s := range c.Variant.SW {
-			if s == want {
-				ordered = append(ordered, s)
-			}
+	for _, rt := range reg.Recoveries() {
+		if rt.AppliesTo(coreName) {
+			recs = append(recs, rt.Kind())
 		}
 	}
-	c.Variant.SW = ordered
+	return algs, base, recs
+}
+
+// comboFromMask builds a Combo from a subset bitmask over the base set,
+// optionally stacking an algorithm-layer technique on top.
+func comboFromMask(base []technique.Technique, mask int, rec recovery.Kind, alg technique.Technique) Combo {
+	c := Combo{Recovery: rec}
+	c.Variant.AssertK = swres.AssertCombined
+	c.Variant.EDDISrb = true
+	if alg != nil {
+		c.addTechnique(alg)
+	}
+	for i, t := range base {
+		if mask&(1<<i) != 0 {
+			c.addTechnique(t)
+		}
+	}
 	return c
 }
 
-func subsetsOf(set []baseTechnique, allowed map[baseTechnique]bool, rec recovery.Kind, ab ABFTMode) []Combo {
-	// indices of allowed techniques
+// subsetMasks returns the non-empty subset bitmasks over the base
+// techniques compatible with a recovery kind on a core.
+func subsetMasks(base []technique.Technique, rec recovery.Kind, coreName string) []int {
 	var idx []int
-	for i, t := range set {
-		if allowed == nil || allowed[t] {
+	for i, t := range base {
+		if technique.CompatibleWith(t, rec, coreName) {
 			idx = append(idx, i)
 		}
 	}
-	var out []Combo
+	var out []int
 	for m := 1; m < 1<<len(idx); m++ {
 		mask := 0
 		for j, i := range idx {
@@ -103,58 +86,55 @@ func subsetsOf(set []baseTechnique, allowed map[baseTechnique]bool, rec recovery
 				mask |= 1 << i
 			}
 		}
-		out = append(out, comboFromSubset(set, mask, rec, ab))
+		out = append(out, mask)
 	}
 	return out
 }
 
 // Enumerate returns the valid cross-layer combinations for a core,
 // reproducing the Table 18 counting.
-func Enumerate(kind inject.CoreKind) []Combo {
-	set := baseSet(kind)
+func Enumerate(kind inject.CoreKind) []Combo { return EnumerateWith(kind, nil) }
+
+// EnumerateWith enumerates the combinations buildable from the techniques a
+// filter admits (nil filters nothing). Recovery mechanisms always
+// participate; they attach to whichever admitted detectors drive them.
+func EnumerateWith(kind inject.CoreKind, f *technique.Filter) []Combo {
+	algs, base, recs := enumSets(kind, f)
+	coreName := kind.String()
+
+	type group struct {
+		rec   recovery.Kind
+		masks []int
+	}
+	groups := []group{{recovery.None, subsetMasks(base, recovery.None, coreName)}}
+	for _, rk := range recs {
+		groups = append(groups, group{rk, subsetMasks(base, rk, coreName)})
+	}
+
 	var combos []Combo
-
-	// no recovery: all non-empty subsets
-	noRec := subsetsOf(set, nil, recovery.None, ABFTNone)
-
-	// flush (InO) / RoB (OoO): subsets of the replayable detectors
-	var quickRec []Combo
-	if kind == inject.InO {
-		quickRec = subsetsOf(set, map[baseTechnique]bool{tEDS: true, tParity: true},
-			recovery.Flush, ABFTNone)
-	} else {
-		quickRec = subsetsOf(set, map[baseTechnique]bool{tEDS: true, tParity: true, tMonitor: true},
-			recovery.RoB, ABFTNone)
-	}
-
-	// IR / EIR: subsets of bounded-latency detectors
-	var replay []Combo
-	detectors := map[baseTechnique]bool{tEDS: true, tParity: true, tDFC: true}
-	if kind == inject.OoO {
-		detectors[tMonitor] = true
-	}
-	for _, rec := range []recovery.Kind{recovery.IR, recovery.EIR} {
-		replay = append(replay, subsetsOf(set, detectors, rec, ABFTNone)...)
-	}
-
-	base := append(append(append([]Combo{}, noRec...), quickRec...), replay...)
-
-	// ABFT standalone
-	combos = append(combos,
-		Combo{Variant: Variant{ABFT: ABFTCorr}},
-		Combo{Variant: Variant{ABFT: ABFTDet}},
-	)
-	// plain combinations
-	combos = append(combos, base...)
-	// ABFT correction stacks on everything
-	for _, c := range base {
-		c.Variant.ABFT = ABFTCorr
+	// algorithm techniques standalone (zero Variant knobs, matching the
+	// paper's bare ABFT design points)
+	for _, a := range algs {
+		c := Combo{}
+		c.addTechnique(a)
 		combos = append(combos, c)
 	}
-	// ABFT detection stacks only on the no-recovery combinations
-	for _, c := range noRec {
-		c.Variant.ABFT = ABFTDet
-		combos = append(combos, c)
+	// plain combinations over the base set
+	for _, g := range groups {
+		for _, m := range g.masks {
+			combos = append(combos, comboFromMask(base, m, g.rec, nil))
+		}
+	}
+	// algorithm techniques stack on the compatible-recovery combinations
+	for _, a := range algs {
+		for _, g := range groups {
+			if !technique.CompatibleWith(a, g.rec, coreName) {
+				continue
+			}
+			for _, m := range g.masks {
+				combos = append(combos, comboFromMask(base, m, g.rec, a))
+			}
+		}
 	}
 	return combos
 }
@@ -170,26 +150,36 @@ type EnumerationCounts struct {
 
 // CountCombos tallies the enumeration per Table 18's rows.
 func CountCombos(kind inject.CoreKind) EnumerationCounts {
-	set := baseSet(kind)
-	noRec := len(subsetsOf(set, nil, recovery.None, ABFTNone))
-	var quick int
-	if kind == inject.InO {
-		quick = len(subsetsOf(set, map[baseTechnique]bool{tEDS: true, tParity: true}, recovery.Flush, ABFTNone))
-	} else {
-		quick = len(subsetsOf(set, map[baseTechnique]bool{tEDS: true, tParity: true, tMonitor: true}, recovery.RoB, ABFTNone))
-	}
-	det := map[baseTechnique]bool{tEDS: true, tParity: true, tDFC: true}
-	if kind == inject.OoO {
-		det[tMonitor] = true
-	}
-	replay := 2 * len(subsetsOf(set, det, recovery.IR, ABFTNone))
-	base := noRec + quick + replay
+	algs, base, recs := enumSets(kind, nil)
+	coreName := kind.String()
 	c := EnumerationCounts{
-		NoRec: noRec, QuickRec: quick, Replay: replay,
-		ABFTAlone:     2,
-		ABFTCorrStack: base,
-		ABFTDetStack:  noRec,
+		NoRec:     len(subsetMasks(base, recovery.None, coreName)),
+		ABFTAlone: len(algs),
 	}
-	c.Total = base + 2 + base + noRec
+	for _, rk := range recs {
+		n := len(subsetMasks(base, rk, coreName))
+		if rk == recovery.Flush || rk == recovery.RoB {
+			c.QuickRec += n
+		} else {
+			c.Replay += n
+		}
+	}
+	baseTotal := c.NoRec + c.QuickRec + c.Replay
+	c.Total = baseTotal + c.ABFTAlone
+	for _, a := range algs {
+		stacked := 0
+		for _, rk := range append([]recovery.Kind{recovery.None}, recs...) {
+			if technique.CompatibleWith(a, rk, coreName) {
+				stacked += len(subsetMasks(base, rk, coreName))
+			}
+		}
+		switch a.Name() {
+		case technique.NameABFTCorrection:
+			c.ABFTCorrStack = stacked
+		case technique.NameABFTDetection:
+			c.ABFTDetStack = stacked
+		}
+		c.Total += stacked
+	}
 	return c
 }

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"clear/internal/inject"
+	"clear/internal/recovery"
+)
+
+// The golden fixtures in testdata/ were generated from the pre-registry
+// engine (hardcoded technique library): the full sorted enumeration name
+// lists per core and a set of EvalCombo outcomes at fixed seed/sampling.
+// These tests prove the registry re-expression is behaviorally identical —
+// same 586 combinations, same names, bit-identical Outcome floats.
+
+func readGoldenNames(t *testing.T, file string) []string {
+	t.Helper()
+	raw, err := os.ReadFile(filepath.Join("testdata", file))
+	if err != nil {
+		t.Fatalf("read golden %s: %v", file, err)
+	}
+	var names []string
+	for _, line := range strings.Split(string(raw), "\n") {
+		if line = strings.TrimSpace(line); line != "" {
+			names = append(names, line)
+		}
+	}
+	return names
+}
+
+func TestEnumerationMatchesGoldenNames(t *testing.T) {
+	cases := []struct {
+		kind inject.CoreKind
+		file string
+		n    int
+	}{
+		{inject.InO, "enum_names_ino.txt", 417},
+		{inject.OoO, "enum_names_ooo.txt", 169},
+	}
+	total := 0
+	for _, tc := range cases {
+		want := readGoldenNames(t, tc.file)
+		if len(want) != tc.n {
+			t.Fatalf("%s: golden has %d names, want %d", tc.file, len(want), tc.n)
+		}
+		combos := Enumerate(tc.kind)
+		if len(combos) != tc.n {
+			t.Errorf("%v: enumerated %d combos, want %d", tc.kind, len(combos), tc.n)
+		}
+		got := make([]string, len(combos))
+		for i, c := range combos {
+			got[i] = c.Name()
+		}
+		sort.Strings(got)
+		for i := range want {
+			if i >= len(got) || got[i] != want[i] {
+				g := "<missing>"
+				if i < len(got) {
+					g = got[i]
+				}
+				t.Fatalf("%v: sorted name %d = %q, golden %q", tc.kind, i, g, want[i])
+			}
+		}
+		total += len(combos)
+	}
+	if total != 586 {
+		t.Errorf("total combinations = %d, want 586", total)
+	}
+}
+
+// comboFromLabel rebuilds a Combo from its display label through the
+// registry ("A+B (+rec)" → ComboFor).
+func comboFromLabel(label string) (Combo, error) {
+	rec := recovery.None
+	if i := strings.Index(label, " (+"); i >= 0 {
+		recName := strings.TrimSuffix(label[i+3:], ")")
+		for _, k := range []recovery.Kind{recovery.Flush, recovery.RoB, recovery.IR, recovery.EIR} {
+			if k.String() == recName {
+				rec = k
+			}
+		}
+		label = label[:i]
+	}
+	return ComboFor(strings.Split(label, "+"), rec)
+}
+
+type goldenOutcome struct {
+	Combo        string `json:"combo"`
+	Core         string `json:"core"`
+	Bench        string `json:"bench"`
+	Metric       string `json:"metric"`
+	Target       string `json:"target"`
+	SDCImpBits   uint64 `json:"sdc_imp_bits"`
+	DUEImpBits   uint64 `json:"due_imp_bits"`
+	AreaBits     uint64 `json:"area_bits"`
+	PowerBits    uint64 `json:"power_bits"`
+	ExecTimeBits uint64 `json:"exec_time_bits"`
+	GammaBits    uint64 `json:"gamma_bits"`
+	Protected    int    `json:"protected"`
+	TargetMet    bool   `json:"target_met"`
+}
+
+func (g goldenOutcome) target() float64 {
+	if g.Target == "inf" {
+		return math.Inf(1)
+	}
+	v, err := strconv.ParseFloat(g.Target, 64)
+	if err != nil {
+		panic("bad golden target " + g.Target)
+	}
+	return v
+}
+
+// TestEvalComboMatchesGolden replays the golden EvalCombo cases on the
+// registry-driven engine and requires bit-identical floats. Combos are
+// located by Name within the fresh enumeration, so the whole
+// name→combo→campaign→plan→outcome path is exercised.
+func TestEvalComboMatchesGolden(t *testing.T) {
+	raw, err := os.ReadFile(filepath.Join("testdata", "evalcombo_golden.json"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	var cases []goldenOutcome
+	if err := json.Unmarshal(raw, &cases); err != nil {
+		t.Fatalf("parse golden: %v", err)
+	}
+	if len(cases) == 0 {
+		t.Fatal("golden file is empty")
+	}
+
+	t.Setenv("CLEAR_CACHE_DIR", t.TempDir())
+	engines := map[string]*Engine{}
+	byName := map[string]map[string]Combo{}
+	for _, coreName := range []string{"InO", "OoO"} {
+		kind := inject.InO
+		if coreName == "OoO" {
+			kind = inject.OoO
+		}
+		e := NewEngine(kind)
+		e.SamplesBase = 1
+		e.SamplesTech = 1
+		engines[coreName] = e
+		m := map[string]Combo{}
+		for _, c := range Enumerate(kind) {
+			m[c.Name()] = c
+		}
+		byName[coreName] = m
+	}
+
+	for _, g := range cases {
+		g := g
+		t.Run(g.Core+"/"+g.Combo+"/"+g.Metric+g.Target, func(t *testing.T) {
+			e := engines[g.Core]
+			// Prefer the combo as enumerated (exercises the registry
+			// enumeration end to end); golden cases outside the enumeration
+			// (e.g. LEAP-DICE explicitly paired with a recovery) rebuild
+			// from the label via the registry.
+			c, ok := byName[g.Core][g.Combo]
+			if !ok {
+				var err error
+				c, err = comboFromLabel(g.Combo)
+				if err != nil {
+					t.Fatalf("combo %q: %v", g.Combo, err)
+				}
+				if c.Name() != g.Combo {
+					t.Fatalf("rebuilt combo names %q, want %q", c.Name(), g.Combo)
+				}
+			}
+			var found bool
+			for _, bb := range e.Benchmarks() {
+				if bb.Name == g.Bench {
+					found = true
+					metric := SDC
+					if g.Metric == "DUE" {
+						metric = DUE
+					}
+					out, err := e.EvalCombo(bb, c, metric, g.target())
+					if err != nil {
+						t.Fatalf("EvalCombo: %v", err)
+					}
+					check := func(field string, got float64, wantBits uint64) {
+						if math.Float64bits(got) != wantBits {
+							t.Errorf("%s: got %v (bits %d), golden bits %d (%v)",
+								field, got, math.Float64bits(got), wantBits,
+								math.Float64frombits(wantBits))
+						}
+					}
+					check("SDCImp", out.SDCImp, g.SDCImpBits)
+					check("DUEImp", out.DUEImp, g.DUEImpBits)
+					check("Cost.Area", out.Cost.Area, g.AreaBits)
+					check("Cost.Power", out.Cost.Power, g.PowerBits)
+					check("Cost.ExecTime", out.Cost.ExecTime, g.ExecTimeBits)
+					check("Gamma", out.Gamma, g.GammaBits)
+					if out.Protected != g.Protected {
+						t.Errorf("Protected: got %d, golden %d", out.Protected, g.Protected)
+					}
+					if out.TargetMet != g.TargetMet {
+						t.Errorf("TargetMet: got %v, golden %v", out.TargetMet, g.TargetMet)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("benchmark %q not in %s list", g.Bench, g.Core)
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"clear/internal/inject"
 	"clear/internal/recovery"
 	"clear/internal/stack"
+	"clear/internal/technique"
 )
 
 // Metric selects which improvement a hardening pass targets.
@@ -172,7 +173,7 @@ func (e *Engine) SelectiveHarden(res *inject.Result, opt HardenOptions, metric M
 	quickMet := func() bool {
 		// approximate γ: recovery overhead plus ~0.3 added FFs per
 		// parity/EDS cell (pipeline + error-indication flip-flops)
-		gamma := opt.FixedGamma * (1 + recoveryFFOverhead(plan.Recovery, coreName) +
+		gamma := opt.FixedGamma * (1 + technique.RecoveryFFOverhead(plan.Recovery, coreName) +
 			0.3*float64(parityish)/float64(e.Model.NumFFs))
 		var imp float64
 		if metric == SDC {

@@ -6,6 +6,7 @@ import (
 	"clear/internal/parity"
 	"clear/internal/power"
 	"clear/internal/recovery"
+	"clear/internal/technique"
 )
 
 // CellKind is the circuit/logic protection applied to one flip-flop.
@@ -54,18 +55,38 @@ func serOf(c CellKind) float64 {
 	return 1
 }
 
+// ffProtector resolves a registered technique's FFProtector capability
+// (nil when not registered or not a per-flip-flop technique).
+func ffProtector(name string) technique.FFProtector {
+	t, err := technique.Default().Lookup(name)
+	if err != nil {
+		return nil
+	}
+	p, _ := t.(technique.FFProtector)
+	return p
+}
+
 // Evaluate composes per-flip-flop campaign statistics with a plan.
 //
-// Rules (matching the paper's technique semantics):
+// The residual composition rules live on the registered techniques'
+// FFProtector implementations (matching the paper's semantics):
 //   - hardening cells scale every error class by the cell's SER ratio;
 //   - parity/EDS with recovery that can recover the flip-flop suppress all
 //     errors (detect + replay);
 //   - parity/EDS without usable recovery detect every flip: SDC goes to
 //     zero but every injected error becomes ED (a DUE);
 //   - unprotected flip-flops contribute their measured counts.
+//
+// The LEAP-ctrl / LHL cell variants are plan-local alternatives of the
+// LEAP-DICE technique and keep their SER-ratio math here.
 func (e *Engine) Evaluate(res *inject.Result, plan *Plan) Residuals {
 	var out Residuals
 	coreName := e.Kind.String()
+	prot := map[CellKind]technique.FFProtector{
+		CellDICE:   ffProtector(technique.NameLEAPDICE),
+		CellParity: ffProtector(technique.NameParity),
+		CellEDS:    ffProtector(technique.NameEDS),
+	}
 	for bit, st := range res.PerFF {
 		sdc := float64(st.OMM)
 		due := float64(st.UT) + float64(st.Hang) + float64(st.ED)
@@ -73,18 +94,24 @@ func (e *Engine) Evaluate(res *inject.Result, plan *Plan) Residuals {
 		case CellNone, CellCtrlEco:
 			out.SDC += sdc
 			out.DUE += due
-		case CellDICE, CellLHL, CellCtrlRes:
+		case CellLHL, CellCtrlRes:
 			f := serOf(c)
 			out.SDC += sdc * f
 			out.DUE += due * f
-		case CellParity, CellEDS:
-			if plan.Recovery != recovery.None &&
-				recovery.Recoverable(plan.Recovery, coreName, e.Space, bit) {
-				// detected and replayed: error erased
+		case CellDICE, CellParity, CellEDS:
+			p := prot[c]
+			if p == nil {
+				// technique unregistered out from under the plan: count the
+				// flip-flop as unprotected rather than guessing
+				out.SDC += sdc
+				out.DUE += due
 				continue
 			}
-			// detected, not recoverable: every flip becomes a DUE
-			out.DUE += float64(st.N)
+			recovered := !p.Corrects() && plan.Recovery != recovery.None &&
+				recovery.Recoverable(plan.Recovery, coreName, e.Space, bit)
+			rs, rd := p.Residual(float64(st.N), sdc, due, recovered)
+			out.SDC += rs
+			out.DUE += rd
 		}
 	}
 	return out
@@ -166,35 +193,11 @@ func (e *Engine) PlanCost(p *Plan) power.Cost {
 	return cost
 }
 
-// recoveryFFOverhead is the γ flip-flop overhead of recovery hardware
-// (calibrated so parity+IR on the in-order core gives the paper's γ≈1.4
-// and the OoO recovery units are nearly free).
-func recoveryFFOverhead(k recovery.Kind, core string) float64 {
-	if core == "InO" {
-		switch k {
-		case recovery.IR:
-			return 0.35
-		case recovery.EIR:
-			return 0.42
-		case recovery.Flush:
-			return 0.01
-		}
-		return 0
-	}
-	switch k {
-	case recovery.IR, recovery.EIR:
-		return 0.055
-	case recovery.RoB:
-		return 0.001
-	}
-	return 0
-}
-
 // PlanFFOverhead returns the plan's γ flip-flop overhead: parity pipeline
 // and error-indication flip-flops plus recovery buffers, relative to the
 // core's flip-flop count.
 func (e *Engine) PlanFFOverhead(p *Plan) float64 {
-	over := recoveryFFOverhead(p.Recovery, e.Kind.String())
+	over := technique.RecoveryFFOverhead(p.Recovery, e.Kind.String())
 	if g := e.ParityGrouping(p); len(g.Groups) > 0 {
 		over += float64(g.NumPipelineFFs()+g.ErrorFFs()) / float64(e.Model.NumFFs)
 	}

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"clear/internal/inject"
+	"clear/internal/power"
+	"clear/internal/recovery"
+	"clear/internal/swres"
+	"clear/internal/technique"
+)
+
+// Satellite: Name and Tag are membership-driven off the registry, so a
+// variant whose SW slice arrives in any order canonicalizes to the same
+// label and the same campaign cache key.
+func TestShuffledSWOrderCanonicalizes(t *testing.T) {
+	orders := [][]SWTechnique{
+		{SWCFCSS, SWAssertions, SWEDDI},
+		{SWEDDI, SWCFCSS, SWAssertions},
+		{SWAssertions, SWEDDI, SWCFCSS},
+		{SWEDDI, SWAssertions, SWCFCSS},
+	}
+	wantName := "CFCSS+Assertions+EDDI+LEAP-DICE"
+	wantTag := "cfcss+assert-combined+eddisrb"
+	for _, sw := range orders {
+		c := Combo{DICE: true}
+		c.Variant.SW = append([]SWTechnique(nil), sw...)
+		c.Variant.AssertK = swres.AssertCombined
+		c.Variant.EDDISrb = true
+		if got := c.Name(); got != wantName {
+			t.Errorf("SW order %v: Name = %q, want %q", sw, got, wantName)
+		}
+		if got := c.Variant.Tag(); got != wantTag {
+			t.Errorf("SW order %v: Tag = %q, want %q", sw, got, wantTag)
+		}
+	}
+}
+
+// Tag order is frozen independently of display order: DFC sorts before the
+// monitor core in cache keys while Name shows Monitor first.
+func TestTagOrderFrozenAgainstDisplayOrder(t *testing.T) {
+	v := Variant{DFC: true, Monitor: true}
+	if got := v.Tag(); got != "dfc+mon.v2" {
+		t.Errorf("Tag = %q, want %q (frozen on-disk cache key order)", got, "dfc+mon.v2")
+	}
+	c := Combo{Variant: v}
+	if got := c.Name(); got != "Monitor+DFC" {
+		t.Errorf("Name = %q, want %q (display order)", got, "Monitor+DFC")
+	}
+}
+
+func TestComboForCanonicalizesArgumentOrder(t *testing.T) {
+	a, err := ComboFor([]string{"Parity", "LEAP-DICE", "DFC"}, recovery.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ComboFor([]string{"DFC", "Parity", "LEAP-DICE"}, recovery.None)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name() != b.Name() || a.Name() != "DFC+LEAP-DICE+Parity" {
+		t.Errorf("ComboFor not canonical: %q vs %q", a.Name(), b.Name())
+	}
+	if _, err := ComboFor([]string{"Nope"}, recovery.None); err == nil {
+		t.Error("unknown name should error")
+	}
+}
+
+// testShield is a third-party architecture-layer technique used to prove
+// the registry is genuinely pluggable: registering it must surface it in
+// enumeration without touching the engine.
+type testShield struct{ technique.Info }
+
+func (testShield) Cost(m power.Model, core string) power.Cost {
+	return power.Cost{Area: 0.01, Power: 0.02}
+}
+func (testShield) GammaFF(core string) float64   { return 0.005 }
+func (testShield) GammaExec(core string) float64 { return 0 }
+func (testShield) CompatibleWith(k recovery.Kind, core string) bool {
+	return k == recovery.IR
+}
+
+func TestThirdPartyTechniqueEnumerates(t *testing.T) {
+	reg := technique.Default()
+	shield := testShield{technique.Info{
+		TechName: "Shield", TechLayer: technique.Architecture, Cores: []string{"InO"},
+	}}
+	if err := reg.Register(shield); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	defer reg.Unregister("Shield")
+
+	combos := Enumerate(inject.InO)
+	var alone, stacked, withIR, withEIR int
+	for _, c := range combos {
+		if !c.Active("Shield") {
+			continue
+		}
+		name := c.Name()
+		if !strings.Contains(name, "Shield") {
+			t.Fatalf("active Shield missing from name %q", name)
+		}
+		switch {
+		case name == "Shield":
+			alone++
+		case c.Recovery == recovery.IR:
+			withIR++
+		case c.Recovery == recovery.EIR:
+			withEIR++
+		default:
+			stacked++
+		}
+	}
+	if alone != 1 {
+		t.Errorf("Shield standalone combos = %d, want 1", alone)
+	}
+	if withIR == 0 {
+		t.Error("Shield should enumerate with IR recovery (declared compatible)")
+	}
+	if withEIR != 0 {
+		t.Error("Shield must not enumerate with EIR recovery (not compatible)")
+	}
+	if stacked == 0 {
+		t.Error("Shield should stack with other techniques")
+	}
+	// the OoO enumeration must not see the InO-only technique
+	for _, c := range Enumerate(inject.OoO) {
+		if c.Active("Shield") {
+			t.Fatal("InO-only technique leaked into the OoO enumeration")
+		}
+	}
+	// and after unregistration the baseline 417 returns
+	reg.Unregister("Shield")
+	if n := len(Enumerate(inject.InO)); n != 417 {
+		t.Errorf("post-unregister enumeration = %d combos, want 417", n)
+	}
+}
+
+func TestEnumerateWithFilter(t *testing.T) {
+	reg := technique.Default()
+	f, err := technique.ParseFilter("LEAP-DICE,Parity", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combos := EnumerateWith(inject.InO, f)
+	// base set {LEAP-DICE, Parity}: 3 no-recovery subsets + Parity with
+	// each of flush/IR/EIR = 6 combinations, no ABFT.
+	if len(combos) != 6 {
+		names := make([]string, len(combos))
+		for i, c := range combos {
+			names[i] = c.Name()
+		}
+		t.Fatalf("filtered enumeration = %d combos %v, want 6", len(combos), names)
+	}
+	for _, c := range combos {
+		if c.EDS || c.Variant.DFC || c.Variant.ABFT != ABFTNone || len(c.Variant.SW) != 0 {
+			t.Errorf("combo %q contains a filtered-out technique", c.Name())
+		}
+	}
+
+	ex, err := technique.ParseFilter("-EDS,-ABFT-c,-ABFT-d", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range EnumerateWith(inject.InO, ex) {
+		if c.EDS || c.Variant.ABFT != ABFTNone {
+			t.Errorf("combo %q contains an excluded technique", c.Name())
+		}
+	}
+}

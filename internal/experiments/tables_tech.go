@@ -10,7 +10,6 @@ import (
 	"clear/internal/inject"
 	"clear/internal/power"
 	"clear/internal/prog"
-	"clear/internal/recovery"
 	"clear/internal/stack"
 	"clear/internal/swres"
 )
@@ -99,123 +98,6 @@ func latStr(v float64) string {
 		return fmt.Sprintf("%.1fK cycles", v/1000)
 	}
 	return fmt.Sprintf("%.0f cycles", v)
-}
-
-func table3(ctx *Ctx) (string, error) {
-	t := newTable("Table 3: standalone techniques (measured on this reproduction's cores)",
-		"Layer", "Technique", "Core", "Area", "Energy", "Exec", "SDC imp", "DUE imp", "Det. latency", "γ")
-
-	// Circuit/logic rows: tunable 0..max; report the max design point.
-	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
-		e := ctx.Engine(kind)
-		for _, row := range []struct {
-			name  string
-			combo core.Combo
-			layer string
-		}{
-			{"LEAP-DICE (no recovery needed)", core.Combo{DICE: true}, "Circuit"},
-			{"EDS (with IR recovery)", core.Combo{EDS: true, Recovery: recovery.IR}, "Circuit"},
-			{"Parity (with IR recovery)", core.Combo{Parity: true, Recovery: recovery.IR}, "Logic"},
-		} {
-			avg, err := e.EvalComboAvg(row.combo, core.SDC, math.Inf(1))
-			if err != nil {
-				return "", err
-			}
-			t.row(row.layer, row.name, kind.String(),
-				"0-"+pct(avg.Cost.Area), "0-"+pct(avg.Cost.Energy()), "0%",
-				"1x-"+imp(avg.SDCImp), "1x-"+imp(avg.DUEImp), "1 cycle",
-				f2(1+recoveryFFOv(row.combo.Recovery, kind)))
-		}
-	}
-
-	// Architecture rows.
-	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
-		e := ctx.Engine(kind)
-		dfc, err := summarize(e, e.Benchmarks(), core.Variant{DFC: true}, 0, power.Cost{}, false)
-		if err != nil {
-			return "", err
-		}
-		t.row("Arch.", "DFC (without recovery)", kind.String(),
-			pct(dfc.Cost.Area), pct(dfc.Cost.Energy()), pct(dfc.ExecImpact),
-			imp(dfc.SDCImp), imp(dfc.DUEImp), latStr(dfc.DetLatency), f2(dfc.Gamma))
-		eirCost := recovery.Cost(recovery.EIR, kind.String())
-		dfcR, err := summarize(e, e.Benchmarks(), core.Variant{DFC: true},
-			recoveryFFOv(recovery.EIR, kind), eirCost, true)
-		if err != nil {
-			return "", err
-		}
-		t.row("Arch.", "DFC (with EIR recovery)", kind.String(),
-			pct(dfcR.Cost.Area), pct(dfcR.Cost.Energy()), pct(dfcR.ExecImpact),
-			imp(dfcR.SDCImp), imp(dfcR.DUEImp), latStr(dfcR.DetLatency), f2(dfcR.Gamma))
-	}
-	mon, err := summarize(ctx.OoO, ctx.OoO.Benchmarks(), core.Variant{Monitor: true},
-		recoveryFFOv(recovery.RoB, inject.OoO), recovery.Cost(recovery.RoB, "OoO"), true)
-	if err != nil {
-		return "", err
-	}
-	t.row("Arch.", "Monitor core (with RoB recovery)", "OoO",
-		pct(mon.Cost.Area), pct(mon.Cost.Energy()), pct(mon.ExecImpact),
-		imp(mon.SDCImp), imp(mon.DUEImp), latStr(mon.DetLatency), f2(mon.Gamma))
-
-	// Software rows (InO only, like the paper).
-	e := ctx.InO
-	for _, row := range []struct {
-		name string
-		v    core.Variant
-	}{
-		{"Assertions (unconstrained)", core.Variant{SW: []core.SWTechnique{core.SWAssertions}, AssertK: swres.AssertCombined}},
-		{"CFCSS (unconstrained)", core.Variant{SW: []core.SWTechnique{core.SWCFCSS}}},
-		{"EDDI w/ store-readback (unconstrained)", core.Variant{SW: []core.SWTechnique{core.SWEDDI}, EDDISrb: true}},
-	} {
-		s, err := summarize(e, e.Benchmarks(), row.v, 0, power.Cost{}, false)
-		if err != nil {
-			return "", err
-		}
-		t.row("SW", row.name, "InO",
-			"0%", pct(s.Cost.Energy()), pct(s.ExecImpact),
-			imp(s.SDCImp), imp(s.DUEImp), latStr(s.DetLatency), f2(s.Gamma))
-	}
-
-	// Algorithm rows (PERFECT kernels that admit each mode).
-	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
-		ee := ctx.Engine(kind)
-		s, err := summarize(ee, ABFTCorrBenchmarks(), core.Variant{ABFT: core.ABFTCorr}, 0, power.Cost{}, false)
-		if err != nil {
-			return "", err
-		}
-		t.row("Alg.", "ABFT correction", kind.String(),
-			"0%", pct(s.Cost.Energy()), pct(s.ExecImpact),
-			imp(s.SDCImp), imp(s.DUEImp), latStr(s.DetLatency), f2(s.Gamma))
-	}
-	s, err := summarize(ctx.InO, ABFTDetBenchmarks(), core.Variant{ABFT: core.ABFTDet}, 0, power.Cost{}, false)
-	if err != nil {
-		return "", err
-	}
-	t.row("Alg.", "ABFT detection (unconstrained)", "InO",
-		"0%", pct(s.Cost.Energy()), pct(s.ExecImpact),
-		imp(s.SDCImp), imp(s.DUEImp), latStr(s.DetLatency), f2(s.Gamma))
-	return t.String(), nil
-}
-
-func recoveryFFOv(k recovery.Kind, kind inject.CoreKind) float64 {
-	if kind == inject.InO {
-		switch k {
-		case recovery.IR:
-			return 0.35
-		case recovery.EIR:
-			return 0.42
-		case recovery.Flush:
-			return 0.01
-		}
-		return 0
-	}
-	switch k {
-	case recovery.IR, recovery.EIR:
-		return 0.055
-	case recovery.RoB:
-		return 0.001
-	}
-	return 0
 }
 
 // coverage computes the Table 8/12-style checker coverage breakdown.

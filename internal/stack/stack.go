@@ -9,13 +9,16 @@ import "math"
 // Layer is an abstraction layer of the system stack.
 type Layer int
 
-// Stack layers, bottom to top.
+// Stack layers, bottom to top. Recovery is the pseudo-layer of the four
+// hardware recovery mechanisms (Table 15): they attach to detection
+// techniques rather than occupying a stack layer of their own.
 const (
 	Circuit Layer = iota
 	Logic
 	Architecture
 	Software
 	Algorithm
+	Recovery
 )
 
 func (l Layer) String() string {
@@ -30,6 +33,8 @@ func (l Layer) String() string {
 		return "Software"
 	case Algorithm:
 		return "Algorithm"
+	case Recovery:
+		return "Recovery"
 	}
 	return "?"
 }

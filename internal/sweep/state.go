@@ -79,6 +79,12 @@ type Key struct {
 	Seed        uint64 `json:"seed"`
 	SamplesBase int    `json:"samples_base"`
 	SamplesTech int    `json:"samples_tech"`
+	// Techniques is the canonical technique-filter spec the sweep's
+	// enumeration was built under ("" = full enumeration). A resumed sweep
+	// with a different filter has a different combination grid, so its state
+	// must be rejected, not silently mixed. omitempty keeps pre-filter state
+	// files decoding (and matching) as the empty spec.
+	Techniques string `json:"techniques,omitempty"`
 }
 
 // CellOutcome is the persisted result of one (combination, benchmark) cell.

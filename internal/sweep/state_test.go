@@ -3,7 +3,14 @@ package sweep
 import (
 	"encoding/json"
 	"math"
+	"os"
+	"path/filepath"
 	"testing"
+
+	"clear/internal/bench"
+	"clear/internal/core"
+	"clear/internal/inject"
+	"clear/internal/technique"
 )
 
 // TestF64RoundTrip checks lossless JSON round-trips for the values sweep
@@ -59,5 +66,57 @@ func TestCellKeyParse(t *testing.T) {
 		if _, _, ok := parseCellKey(bad); ok {
 			t.Fatalf("parseCellKey(%q) accepted", bad)
 		}
+	}
+}
+
+// TestStateRejectsDifferentTechniqueFilter: sweep state persisted under one
+// -techniques selection must not be restored into a sweep with another —
+// the combination grids differ, so mixing would mis-index every cell.
+func TestStateRejectsDifferentTechniqueFilter(t *testing.T) {
+	e := core.NewEngine(inject.InO)
+	e.SamplesBase, e.SamplesTech = 1, 1
+	reg := technique.Default()
+	fA, err := technique.ParseFilter("LEAP-DICE,Parity", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fB, err := technique.ParseFilter("LEAP-DICE,Parity,EDS", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	swA := New(e, bench.All()[:2], core.SDC, 5)
+	swA.ApplyFilter(e, fA)
+	if swA.Key.Techniques != "LEAP-DICE,Parity" {
+		t.Fatalf("Key.Techniques = %q", swA.Key.Techniques)
+	}
+	cells := make([]*CellOutcome, len(swA.Combos)*len(swA.Benches))
+	cells[0] = &CellOutcome{SDCImp: 5, TargetMet: true}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.json")
+	if err := saveState(path, swA, cells); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// same filter: restored
+	swSame := New(e, bench.All()[:2], core.SDC, 5)
+	swSame.ApplyFilter(e, fA)
+	if got, ok := decodeState(data, swSame); !ok || len(got) != 1 {
+		t.Fatalf("same-filter state not restored (ok=%v, cells=%d)", ok, len(got))
+	}
+	// different filter: rejected outright
+	swB := New(e, bench.All()[:2], core.SDC, 5)
+	swB.ApplyFilter(e, fB)
+	if _, ok := decodeState(data, swB); ok {
+		t.Fatal("state saved under a different technique filter was accepted")
+	}
+	// unfiltered sweep: rejected too
+	swFull := New(e, bench.All()[:2], core.SDC, 5)
+	if _, ok := decodeState(data, swFull); ok {
+		t.Fatal("filtered state accepted by an unfiltered sweep")
 	}
 }

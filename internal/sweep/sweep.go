@@ -32,6 +32,7 @@ import (
 	"clear/internal/core"
 	"clear/internal/inject"
 	"clear/internal/resilient"
+	"clear/internal/technique"
 )
 
 // EvalFunc evaluates one (combination, benchmark) cell.
@@ -73,6 +74,16 @@ func New(e *core.Engine, benches []*bench.Benchmark, metric core.Metric, target 
 		},
 		Stats: e.Stats,
 	}
+}
+
+// ApplyFilter restricts the sweep's combination grid to the techniques a
+// filter admits (nil restores the full enumeration) and keys the persisted
+// state on the filter's canonical spec, so state saved under one
+// -techniques selection is rejected — never silently mixed — when resumed
+// under another.
+func (s *Sweep) ApplyFilter(e *core.Engine, f *technique.Filter) {
+	s.Combos = core.EnumerateWith(e.Kind, f)
+	s.Key.Techniques = f.Spec()
 }
 
 // Options tunes a sweep run.

@@ -1,0 +1,108 @@
+package technique
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Filter restricts an enumeration to a subset of the registered
+// techniques. A spec is a comma-separated name list: bare names form an
+// include set (only combinations built entirely from those techniques
+// enumerate), "-name" entries exclude a technique from an otherwise full
+// enumeration. Include and exclude entries may be mixed; exclusion wins.
+// Recovery mechanisms are not filterable — they attach to detectors, and
+// the enumeration constraints already bound them.
+type Filter struct {
+	include map[string]bool // nil = include everything
+	exclude map[string]bool
+	spec    string // canonical normalized spec
+}
+
+// ParseFilter builds a Filter over a registry from a CLI-style spec. An
+// empty spec returns nil (no filtering). Names resolve case-insensitively
+// against the registry; unknown names and recovery names are errors.
+func ParseFilter(spec string, r *Registry) (*Filter, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	f := &Filter{exclude: map[string]bool{}}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		negate := strings.HasPrefix(part, "-")
+		name := strings.TrimPrefix(part, "-")
+		t, err := resolveName(name, r)
+		if err != nil {
+			return nil, err
+		}
+		if t.Layer() == Recovery {
+			return nil, fmt.Errorf("technique: recovery %q is not filterable (recoveries attach to detectors)", t.Name())
+		}
+		if negate {
+			f.exclude[t.Name()] = true
+		} else {
+			if f.include == nil {
+				f.include = map[string]bool{}
+			}
+			f.include[t.Name()] = true
+		}
+	}
+	if f.include == nil && len(f.exclude) == 0 {
+		return nil, nil
+	}
+	f.spec = f.canonicalSpec(r)
+	return f, nil
+}
+
+// resolveName matches a user-supplied name against the registry,
+// case-insensitively.
+func resolveName(name string, r *Registry) (Technique, error) {
+	if t, err := r.Lookup(name); err == nil {
+		return t, nil
+	}
+	for _, t := range r.All() {
+		if strings.EqualFold(t.Name(), name) {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("technique: unknown technique %q (registered: %s)",
+		name, strings.Join(r.Names(), ", "))
+}
+
+// Allows reports whether a technique name passes the filter. A nil Filter
+// allows everything.
+func (f *Filter) Allows(name string) bool {
+	if f == nil {
+		return true
+	}
+	if f.exclude[name] {
+		return false
+	}
+	return f.include == nil || f.include[name]
+}
+
+// Spec returns the canonical normalized spec string: the filter's identity
+// for sweep-state keying. A nil Filter has the empty spec.
+func (f *Filter) Spec() string {
+	if f == nil {
+		return ""
+	}
+	return f.spec
+}
+
+// canonicalSpec renders names in registry canonical order with registered
+// spelling, includes first, so equivalent specs compare equal.
+func (f *Filter) canonicalSpec(r *Registry) string {
+	var inc, exc []string
+	for _, t := range r.Techniques() {
+		if f.include != nil && f.include[t.Name()] {
+			inc = append(inc, t.Name())
+		}
+		if f.exclude[t.Name()] {
+			exc = append(exc, "-"+t.Name())
+		}
+	}
+	return strings.Join(append(inc, exc...), ",")
+}
