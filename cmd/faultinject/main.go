@@ -19,6 +19,7 @@ import (
 	"clear/internal/bench"
 	"clear/internal/core"
 	"clear/internal/inject"
+	"clear/internal/obs"
 	"clear/internal/resilient"
 	"clear/internal/stats"
 )
@@ -33,6 +34,10 @@ func main() {
 	ckptInterval := flag.Int("ckpt-interval", inject.CheckpointInterval,
 		"cycles between reference checkpoints (0 replays every injection from reset)")
 	retries := flag.Int("retries", 2, "retry budget for transient campaign failures")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve /metrics, /debug/vars and /debug/pprof on this address during the campaign (e.g. 127.0.0.1:9090; empty = off)")
+	traceOut := flag.String("trace-out", "",
+		"write a JSONL campaign trace to this file (empty = off)")
 	flag.Parse()
 
 	var kind inject.CoreKind
@@ -52,6 +57,28 @@ func main() {
 	e := core.NewEngine(kind)
 	e.SamplesBase = *samples
 	e.SamplesTech = *samples
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		e.Instrument(reg)
+		bound, shutdown, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("-metrics-addr: %v", err)
+		}
+		defer shutdown()
+		log.Printf("metrics: http://%s/metrics", bound)
+	}
+	if *traceOut != "" {
+		tr, err := obs.OpenTrace(*traceOut)
+		if err != nil {
+			log.Fatalf("-trace-out: %v", err)
+		}
+		defer func() {
+			if err := tr.Close(); err != nil {
+				log.Printf("trace: %v", err)
+			}
+		}()
+		e.Inj.Tracer = tr
+	}
 	v := core.Variant{DFC: *dfc, Monitor: *monitor}
 
 	// The campaign runs under panic isolation and transient-failure retry:

@@ -22,6 +22,7 @@ import (
 	"clear/internal/core"
 	"clear/internal/experiments"
 	"clear/internal/inject"
+	"clear/internal/obs"
 	"clear/internal/resilient"
 )
 
@@ -30,6 +31,10 @@ func main() {
 	ckptInterval := flag.Int("ckpt-interval", inject.CheckpointInterval,
 		"cycles between reference checkpoints (0 replays every injection from reset)")
 	retries := flag.Int("retries", 2, "retry budget for transiently failing campaigns")
+	metricsAddr := flag.String("metrics-addr", "",
+		"serve /metrics, /debug/vars and /debug/pprof on this address while warming (e.g. 127.0.0.1:9090; empty = off)")
+	traceOut := flag.String("trace-out", "",
+		"write a JSONL campaign trace to this file (empty = off)")
 	flag.Parse()
 	inject.CheckpointInterval = *ckptInterval
 	log.SetFlags(log.Ltime)
@@ -41,6 +46,33 @@ func main() {
 
 	inoE := core.NewEngine(inject.InO)
 	oooE := core.NewEngine(inject.OoO)
+
+	// Both engines instrument into one registry: the per-core name
+	// prefixes (core.ino.*, core.ooo.*) keep them apart.
+	if *metricsAddr != "" {
+		reg := obs.NewRegistry()
+		inoE.Instrument(reg)
+		oooE.Instrument(reg)
+		bound, shutdown, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("-metrics-addr: %v", err)
+		}
+		defer shutdown()
+		log.Printf("metrics: http://%s/metrics", bound)
+	}
+	if *traceOut != "" {
+		tr, err := obs.OpenTrace(*traceOut)
+		if err != nil {
+			log.Fatalf("-trace-out: %v", err)
+		}
+		defer func() {
+			if err := tr.Close(); err != nil {
+				log.Printf("trace: %v", err)
+			}
+		}()
+		inoE.Inj.Tracer = tr
+		oooE.Inj.Tracer = tr
+	}
 
 	var failures []string
 

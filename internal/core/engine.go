@@ -10,14 +10,15 @@ package core
 
 import (
 	"fmt"
+	"strings"
 	"sync"
-	"sync/atomic"
 
 	"clear/internal/bench"
 	"clear/internal/ff"
 	"clear/internal/inject"
 	"clear/internal/ino"
 	"clear/internal/layout"
+	"clear/internal/obs"
 	"clear/internal/ooo"
 	"clear/internal/power"
 	"clear/internal/prog"
@@ -85,11 +86,18 @@ type Engine struct {
 	programSF  singleflight.Group[*prog.Program]
 	overheadSF singleflight.Group[float64]
 
-	statCampaignsRun    atomic.Int64
-	statCampaignsCached atomic.Int64
-	statCampaignsJoined atomic.Int64
-	statProgramsBuilt   atomic.Int64
-	statOverheadsRun    atomic.Int64
+	// Inj scopes the fault-injection engine's counters (prune rate, cache
+	// hits, quarantines) to this engine, so two engines sweeping in one
+	// process never conflate each other's numbers. Set by NewEngine.
+	Inj *inject.Injector
+
+	// Memoization counters as registry instruments (see Stats and
+	// Instrument): single atomic adds on the hot path, per-engine scoped.
+	statCampaignsRun    obs.Counter
+	statCampaignsCached obs.Counter
+	statCampaignsJoined obs.Counter
+	statProgramsBuilt   obs.Counter
+	statOverheadsRun    obs.Counter
 }
 
 // EngineStats is a snapshot of the engine's memoization counters: how many
@@ -108,12 +116,27 @@ type EngineStats struct {
 // Stats returns a snapshot of the engine's memoization counters.
 func (e *Engine) Stats() EngineStats {
 	return EngineStats{
-		CampaignsRun:    e.statCampaignsRun.Load(),
-		CampaignsCached: e.statCampaignsCached.Load(),
-		CampaignsJoined: e.statCampaignsJoined.Load(),
-		ProgramsBuilt:   e.statProgramsBuilt.Load(),
-		OverheadsRun:    e.statOverheadsRun.Load(),
+		CampaignsRun:    e.statCampaignsRun.Value(),
+		CampaignsCached: e.statCampaignsCached.Value(),
+		CampaignsJoined: e.statCampaignsJoined.Value(),
+		ProgramsBuilt:   e.statProgramsBuilt.Value(),
+		OverheadsRun:    e.statOverheadsRun.Value(),
 	}
+}
+
+// Instrument publishes the engine's memoization counters and its injection
+// scope's counters into reg, prefixed by the lowercase core kind:
+// "core.ino.campaigns_run", "inject.ino.injections.pruned", and so on
+// (DESIGN.md §10 lists the full instrument name contract).
+func (e *Engine) Instrument(reg *obs.Registry) {
+	kind := strings.ToLower(e.Kind.String())
+	prefix := "core." + kind + "."
+	reg.Attach(prefix+"campaigns_run", &e.statCampaignsRun)
+	reg.Attach(prefix+"campaigns_cached", &e.statCampaignsCached)
+	reg.Attach(prefix+"campaigns_joined", &e.statCampaignsJoined)
+	reg.Attach(prefix+"programs_built", &e.statProgramsBuilt)
+	reg.Attach(prefix+"overheads_run", &e.statOverheadsRun)
+	e.Inj.Instrument(reg, "inject."+kind+".")
 }
 
 // NewEngine returns an engine for the given core with default sampling.
@@ -121,6 +144,7 @@ func NewEngine(kind inject.CoreKind) *Engine {
 	e := &Engine{
 		Kind:      kind,
 		Seed:      0xC1EA5,
+		Inj:       inject.NewInjector(),
 		campaigns: make(map[string]*inject.Result),
 		overheads: make(map[string]float64),
 		programs:  make(map[string]*prog.Program),
@@ -345,7 +369,7 @@ func (e *Engine) Campaign(b *bench.Benchmark, v Variant) (*inject.Result, error)
 		// instead of unwinding (and killing) whichever worker happened to
 		// own the singleflight.
 		r, err := resilient.Safe(func() (*inject.Result, error) {
-			return inject.Campaign(cfg, p, v.hookFactory())
+			return e.Inj.Campaign(cfg, p, v.hookFactory())
 		})
 		if err != nil {
 			return nil, err

@@ -10,7 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
-	"sync/atomic"
+	"time"
 
 	"clear/internal/prog"
 	"clear/internal/sim"
@@ -90,14 +90,6 @@ var cacheMagic = [4]byte{'C', 'L', 'R', 'C'}
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// quarantined counts corrupt cache entries this process renamed aside; the
-// sweep observer streams it so operators see disk rot as it happens.
-var quarantinedEntries atomic.Int64
-
-// QuarantineStats reports how many corrupt cache entries this process has
-// quarantined (renamed *.corrupt) and recomputed.
-func QuarantineStats() int64 { return quarantinedEntries.Load() }
-
 // encodeCache serializes a campaign result and appends the CRC trailer.
 func encodeCache(r *Result) ([]byte, error) {
 	var buf bytes.Buffer
@@ -136,9 +128,9 @@ func decodeCache(data []byte) (*Result, error) {
 // evidence survives for postmortems while the campaign recomputes. If the
 // rename itself fails the entry is removed — recomputing must never be
 // blocked by a bad file.
-func quarantine(path string) {
+func (in *Injector) quarantine(path string) {
 	if err := os.Rename(path, path+".corrupt"); err == nil {
-		quarantinedEntries.Add(1)
+		in.quarantined.Add(1)
 	} else {
 		os.Remove(path)
 	}
@@ -149,24 +141,38 @@ func quarantine(path string) {
 // quarantined and the campaign recomputed; a decodable entry that does not
 // demonstrably belong to this campaign (stored Config mismatch, implausible
 // shape — a key collision or hand-edited file) is discarded as stale.
+//
+// The package-level function counts against the default injection scope;
+// use the Injector method to attribute cache traffic (and the campaign
+// trace record) to a specific scope.
 func Campaign(cfg Config, p *prog.Program, hookFactory func(*prog.Program) sim.CommitHook) (*Result, error) {
+	return std.Campaign(cfg, p, hookFactory)
+}
+
+// Campaign is the scoped form of the package-level Campaign.
+func (in *Injector) Campaign(cfg Config, p *prog.Program, hookFactory func(*prog.Program) sim.CommitHook) (*Result, error) {
+	start := time.Now()
 	path := filepath.Join(CacheDir(), cacheKey(cfg, p))
 	if data, err := os.ReadFile(path); err == nil {
 		r, derr := decodeCache(data)
 		if derr == nil && r.Config == cfg && r.NomCycles > 0 &&
 			len(r.PerFF) == SpaceBits(cfg.Core) {
+			in.cacheHits.Add(1)
+			in.traceCampaign(cfg, r, "cache", time.Since(start))
 			return r, nil
 		}
 		if derr != nil {
-			quarantine(path)
+			in.quarantine(path)
 		} else {
 			os.Remove(path) // stale, not corrupt: no evidence worth keeping
 		}
 	}
-	r, err := Run(cfg, p, hookFactory)
+	in.cacheMisses.Add(1)
+	r, err := in.Run(cfg, p, hookFactory)
 	if err != nil {
 		return nil, err
 	}
+	in.traceCampaign(cfg, r, "run", time.Since(start))
 	if data, encErr := encodeCache(r); encErr == nil {
 		if err := os.MkdirAll(CacheDir(), 0o755); err == nil {
 			tmp, err := os.CreateTemp(CacheDir(), "campaign-*")

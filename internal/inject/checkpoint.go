@@ -2,7 +2,6 @@ package inject
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"clear/internal/prog"
 	"clear/internal/sim"
@@ -64,21 +63,6 @@ func buildReferenceCore(k CoreKind, p *prog.Program, interval, maxCycles int) (*
 	return ref, c.Result(), c, nil
 }
 
-// Injection counters: total injections performed and how many of them were
-// cut short by convergence pruning (state match against the fault-free
-// reference). Monotonic process-wide atomics; a sweep observer reads
-// successive snapshots to report the prune rate.
-var (
-	injTotal  atomic.Int64
-	injPruned atomic.Int64
-)
-
-// PruneStats returns the process-wide injection counters: how many
-// injections ran and how many ended early through convergence pruning.
-func PruneStats() (pruned, total int64) {
-	return injPruned.Load(), injTotal.Load()
-}
-
 // RunOneFrom performs a single injection like RunOne but warm-starts from
 // the reference trajectory: it restores the nearest snapshot at or before
 // the injection cycle, steps the remaining cycle-mod-interval cycles, flips
@@ -93,9 +77,19 @@ func PruneStats() (pruned, total int64) {
 // pruning only replaces a suffix whose outcome is already decided. Runs that
 // carry a commit hook fall back to RunOne — hook-internal state cannot be
 // checkpointed, so they keep the exact from-reset path.
+//
+// The package-level function counts against the default injection scope;
+// use the Injector method to attribute the injection to a specific scope.
 func RunOneFrom(c sim.Core, p *prog.Program, ref *Reference, bit, cycle, nomCycles int,
 	hookFactory func(*prog.Program) sim.CommitHook) (Outcome, int) {
-	injTotal.Add(1)
+	return std.RunOneFrom(c, p, ref, bit, cycle, nomCycles, hookFactory)
+}
+
+// RunOneFrom is the scoped form of the package-level RunOneFrom: the
+// injection and any convergence prune are tallied on this injector.
+func (in *Injector) RunOneFrom(c sim.Core, p *prog.Program, ref *Reference, bit, cycle, nomCycles int,
+	hookFactory func(*prog.Program) sim.CommitHook) (Outcome, int) {
+	in.injTotal.Add(1)
 	if hookFactory != nil || ref == nil || ref.Interval <= 0 || len(ref.Ckpts) == 0 {
 		return RunOne(c, p, bit, cycle, nomCycles, hookFactory)
 	}
@@ -123,7 +117,8 @@ func RunOneFrom(c sim.Core, p *prog.Program, ref *Reference, bit, cycle, nomCycl
 		}
 		if i := c.Cycles() / ref.Interval; c.Cycles()%ref.Interval == 0 && i < len(ref.Ckpts) &&
 			c.Matches(ref.Ckpts[i]) {
-			injPruned.Add(1)
+			in.injPruned.Add(1)
+			in.pruneCycles.Observe(int64(c.Cycles() - cycle))
 			return Vanished, -1
 		}
 	}

@@ -252,7 +252,18 @@ const nomBudget = 8_000_000
 // injection warm-starts from the nearest snapshot and prunes as soon as its
 // state reconverges with the reference. Results are bit-for-bit identical
 // to the from-reset path for a fixed Config.Seed.
+//
+// The package-level function counts against the default injection scope;
+// use the Injector method to attribute the work to a specific scope.
 func Run(cfg Config, p *prog.Program, hookFactory func(*prog.Program) sim.CommitHook) (*Result, error) {
+	return std.Run(cfg, p, hookFactory)
+}
+
+// Run is the scoped form of the package-level Run: injections, prunes, and
+// outcome tallies land on this injector's counters. Counters only observe
+// the campaign — they never feed back into it, so results are identical
+// whichever scope runs the campaign.
+func (in *Injector) Run(cfg Config, p *prog.Program, hookFactory func(*prog.Program) sim.CommitHook) (*Result, error) {
 	if p.Expected == nil {
 		return nil, fmt.Errorf("inject: %s has no golden output", p.Name)
 	}
@@ -313,7 +324,7 @@ func Run(cfg Config, p *prog.Program, hookFactory func(*prog.Program) sim.Commit
 					for s := 0; s < cfg.SamplesPerFF; s++ {
 						h := splitmix64(cfg.Seed ^ uint64(bit)<<20 ^ uint64(s))
 						cycle := int(h % uint64(nomCycles))
-						out, det := RunOneFrom(core, p, ref, bit, cycle, nomCycles, hookFactory)
+						out, det := in.RunOneFrom(core, p, ref, bit, cycle, nomCycles, hookFactory)
 						if out == ED && det >= cycle {
 							latSum += int64(det - cycle)
 							latN++
@@ -358,6 +369,7 @@ func Run(cfg Config, p *prog.Program, hookFactory func(*prog.Program) sim.Commit
 	}
 	close(chunks)
 	wg.Wait()
+	in.addOutcomes(res.Totals)
 	return res, nil
 }
 

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"context"
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// The debug endpoint makes a running sweep inspectable from the outside:
+//
+//	/metrics      — the registry as one JSON object (instrument name -> value)
+//	/debug/vars   — standard expvar output; the first served registry is
+//	                additionally published there under "clear"
+//	/debug/pprof/ — live CPU/heap/goroutine profiling (net/http/pprof)
+//
+// The pprof handlers are registered on the server's own mux, not
+// http.DefaultServeMux, so importing this package never changes the
+// process-global mux.
+
+// expvarOnce guards the process-global expvar namespace: expvar.Publish
+// panics on duplicate names, so only the first Serve publishes its
+// registry there. /metrics always serves the registry passed to it.
+var expvarOnce sync.Once
+
+// Serve starts the debug HTTP server on addr (host:port; port 0 picks a
+// free one) exposing reg. It returns the bound address and a shutdown
+// function that stops the server and waits briefly for in-flight scrapes.
+func Serve(addr string, reg *Registry) (bound string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, fmt.Errorf("obs: metrics listener on %q: %w", addr, err)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	expvarOnce.Do(func() {
+		expvar.Publish("clear", expvar.Func(func() any { return reg.Snapshot() }))
+	})
+
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}
+	return ln.Addr().String(), shutdown, nil
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sync"
+)
+
+// Tracer is a JSONL event-trace sink: every Emit appends one JSON record
+// and a newline in a single write, so the file is an ordered, replayable
+// log of what the run did — one record per sweep event or campaign — that
+// can be parsed line-by-line and diffed across runs (timing fields aside,
+// two identical runs produce identical traces; see DESIGN.md §10 for the
+// record schema).
+//
+// A nil *Tracer discards records without marshaling anything, so hot paths
+// guard with a single nil check. Methods are safe for concurrent use: the
+// sweep's serialized event dispatch already orders cell records, and
+// records emitted by other goroutines (campaign completions) interleave
+// atomically between them.
+type Tracer struct {
+	mu  sync.Mutex
+	w   io.Writer
+	err error // first write/marshal error, latched; later Emits are dropped
+}
+
+// NewTracer returns a tracer writing JSONL records to w. The caller owns
+// w's lifetime; Close flushes nothing (every record is written eagerly)
+// but latches the tracer shut and closes w when it is an io.Closer.
+func NewTracer(w io.Writer) *Tracer {
+	return &Tracer{w: w}
+}
+
+// OpenTrace creates (truncating) the named file and returns a tracer
+// writing to it — the convenience behind the commands' -trace-out flag.
+// Closing the tracer closes the file.
+func OpenTrace(path string) (*Tracer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return NewTracer(f), nil
+}
+
+// Emit appends one record. Marshal or write failures are latched into
+// Err and silently drop subsequent records: tracing must never take down
+// the run it observes.
+func (t *Tracer) Emit(rec any) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil || t.w == nil {
+		return
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		t.err = err
+		return
+	}
+	data = append(data, '\n')
+	if _, err := t.w.Write(data); err != nil {
+		t.err = err
+	}
+}
+
+// Err returns the first error the tracer hit (nil while healthy).
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Close stops the tracer and closes the underlying writer when it is an
+// io.Closer. It returns the latched emit error, if any, else the close
+// error.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w := t.w
+	t.w = nil
+	var cerr error
+	if c, ok := w.(io.Closer); ok {
+		cerr = c.Close()
+	}
+	if t.err != nil {
+		return t.err
+	}
+	return cerr
+}

@@ -65,9 +65,10 @@ type Event struct {
 	Attempt int
 	// RetryDelay is the backoff before the next attempt (EventCellRetry).
 	RetryDelay time.Duration
-	// Quarantined is the process-wide count of corrupt campaign cache
-	// entries renamed aside and recomputed (monotonic; see
-	// inject.QuarantineStats) — degradation made visible as it happens.
+	// Quarantined counts corrupt campaign cache entries renamed aside and
+	// recomputed (monotonic), scoped to the sweep's engine when the sweep
+	// knows one (Sweep.Inject), else process-wide — degradation made
+	// visible as it happens.
 	Quarantined int64
 
 	Elapsed time.Duration
@@ -78,12 +79,19 @@ type Event struct {
 	// engine; nil otherwise.
 	Engine *core.EngineStats
 
-	// Injection-level prune counters (process-wide, monotonic).
+	// Injection-level prune counters (monotonic; engine-scoped when the
+	// sweep knows its engine, process-wide otherwise).
 	PrunedInjections, TotalInjections int64
 }
 
-// Observer consumes sweep progress events. Implementations must be safe for
-// concurrent use: worker goroutines emit cell events in parallel.
+// Observer consumes sweep progress events. Events are delivered serially,
+// under the sweep's progress lock, in strict Done order: a cell event's
+// Done/Failed counts, engine counters, and injection counters are all
+// sampled in the same critical section that advanced Done, so successive
+// events never run backwards and their counters never mix progress points.
+// The flip side: a slow Event implementation backpressures the worker
+// pool, so observers should hand expensive work off rather than doing it
+// inline.
 type Observer interface {
 	Event(Event)
 }

@@ -31,6 +31,7 @@ import (
 	"clear/internal/bench"
 	"clear/internal/core"
 	"clear/internal/inject"
+	"clear/internal/obs"
 	"clear/internal/resilient"
 	"clear/internal/technique"
 )
@@ -49,6 +50,11 @@ type Sweep struct {
 	// Stats, when non-nil, supplies engine memoization counters for
 	// progress events (set by New; optional for custom sweeps).
 	Stats func() core.EngineStats
+	// Inject, when non-nil, supplies the injection-level counters (prune,
+	// quarantine, cache) scoped to the engine behind Eval (set by New).
+	// When nil, events fall back to the process-wide aggregate — correct
+	// for a single sweep, conflated when two sweeps share the process.
+	Inject func() inject.Snapshot
 }
 
 // New builds the standard full-enumeration sweep for an engine: every
@@ -72,7 +78,8 @@ func New(e *core.Engine, benches []*bench.Benchmark, metric core.Metric, target 
 		Eval: func(c core.Combo, b *bench.Benchmark) (core.Outcome, error) {
 			return e.EvalCombo(b, c, metric, target)
 		},
-		Stats: e.Stats,
+		Stats:  e.Stats,
+		Inject: e.Inj.Snapshot,
 	}
 }
 
@@ -115,6 +122,13 @@ type Options struct {
 	// errors — are never retried in-run; they are recorded and re-run on
 	// the next resume. The zero value evaluates each cell once.
 	Retry resilient.Policy
+	// Metrics, when non-nil, receives the sweep's instruments (cell latency
+	// histogram, done/failed/retry counters, failure-kind counters, worker
+	// utilization gauge — DESIGN.md §10 lists the names). Instrument
+	// updates are single atomic operations and never influence evaluation:
+	// a sweep with Metrics set produces bit-identical results to one
+	// without.
+	Metrics *obs.Registry
 }
 
 // AdaptiveTimeoutFloor is the minimum adaptive watchdog deadline. Memoized
@@ -201,9 +215,9 @@ type Result struct {
 // cells are flushed to the state file (when persistence is on), and
 // ctx.Err() is returned.
 func Run(ctx context.Context, sw Sweep, opt Options) (*Result, error) {
-	obs := opt.Observer
-	if obs == nil {
-		obs = NopObserver{}
+	observer := opt.Observer
+	if observer == nil {
+		observer = NopObserver{}
 	}
 	flushEvery := opt.FlushEvery
 	if flushEvery <= 0 {
@@ -239,12 +253,37 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Result, error) {
 		}
 	}
 
-	obs.Event(Event{Type: EventStart, Total: total, Restored: restored})
+	observer.Event(Event{Type: EventStart, Total: total, Restored: restored})
+
+	ins := newRunInstruments(opt.Metrics)
+	ins.cellsTotal.Set(int64(total))
+	ins.cellsRestored.Set(int64(restored))
+
+	// injSnap reads the injection counters scoped to this sweep's engine
+	// (falling back to the process aggregate for engine-less sweeps).
+	injSnap := func() inject.Snapshot {
+		if sw.Inject != nil {
+			return sw.Inject()
+		}
+		pruned, totalInj := inject.PruneStats()
+		return inject.Snapshot{
+			PrunedInjections: pruned,
+			TotalInjections:  totalInj,
+			Quarantined:      inject.QuarantineStats(),
+		}
+	}
 
 	wd := &watchdog{fixed: opt.CellTimeout, factor: opt.CellTimeoutFactor}
 
 	start := time.Now()
-	var mu sync.Mutex // guards done/failed counts, stacks, and state flushes
+	// mu guards done/failed counts, stacks, state flushes, AND event
+	// delivery: cell events are built and dispatched inside the same
+	// critical section that advances Done, so observers see events in
+	// strict Done order with engine/prune counters sampled consistently
+	// with that Done count. (Delivering after unlocking — the old way —
+	// let a Done=51 event overtake Done=50 under parallel workers and
+	// paired counters with the wrong progress line.)
+	var mu sync.Mutex
 	done, failed := 0, 0
 	sinceFlush := 0
 	stacks := make(map[int]string) // idx -> panic stack (this run only)
@@ -265,20 +304,30 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Result, error) {
 
 		policy := opt.Retry
 		policy.OnRetry = func(attempt int, err error, delay time.Duration) {
-			obs.Event(Event{
+			ins.retries.Inc()
+			// Retry events take the same lock as cell events so all
+			// delivery is serialized through one order.
+			mu.Lock()
+			observer.Event(Event{
 				Type: EventCellRetry, Combo: comboName, Bench: benchName,
 				Err: err.Error(), Kind: resilient.KindOf(err),
 				Attempt: attempt, RetryDelay: delay,
-				Quarantined: inject.QuarantineStats(),
+				Quarantined: injSnap().Quarantined,
 			})
+			mu.Unlock()
 		}
 
+		ins.workersActive.Add(1)
 		cellStart := time.Now()
 		out, attempts, err := resilient.Do(ctx, policy, func() (core.Outcome, error) {
 			return resilient.WithWatchdog(wd.deadline(), func() (core.Outcome, error) {
 				return sw.Eval(sw.Combos[ci], sw.Benches[bi])
 			})
 		})
+		cellDur := time.Since(cellStart)
+		ins.workersActive.Add(-1)
+		ins.cellLatency.Observe(int64(cellDur))
+
 		co := CellOutcome{
 			SDCImp:    F64(out.SDCImp),
 			DUEImp:    F64(out.DUEImp),
@@ -288,10 +337,16 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Result, error) {
 		}
 		if err != nil {
 			co = CellOutcome{Err: err.Error(), Kind: resilient.KindOf(err), Attempts: attempts}
+			ins.cellsFailed.Inc()
+			ins.failureKind(resilient.KindOf(err)).Inc()
 		} else {
-			wd.observe(time.Since(cellStart))
+			wd.observe(cellDur)
+			ins.cellsDone.Inc()
 		}
 
+		// Everything the event reports — the Done/Failed counts, the
+		// engine and injection counters, the flush — is read and the event
+		// delivered inside one critical section (see mu above).
 		mu.Lock()
 		cells[idx] = &co
 		done++
@@ -306,34 +361,34 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Result, error) {
 			flushLocked()
 		}
 		ev := Event{
-			Type:        EventCellDone,
-			Combo:       comboName,
-			Bench:       benchName,
-			Done:        done,
-			Failed:      failed,
-			Total:       total,
-			Restored:    restored,
-			Elapsed:     time.Since(start),
-			Attempt:     attempts,
-			Quarantined: inject.QuarantineStats(),
+			Type:     EventCellDone,
+			Combo:    comboName,
+			Bench:    benchName,
+			Done:     done,
+			Failed:   failed,
+			Total:    total,
+			Restored: restored,
+			Elapsed:  time.Since(start),
+			Attempt:  attempts,
 		}
-		if done > 0 {
-			remaining := len(pending) - done
-			ev.ETA = time.Duration(float64(ev.Elapsed) / float64(done) * float64(remaining))
-		}
-		mu.Unlock()
-
 		if err != nil {
 			ev.Type = EventCellFailed
 			ev.Err = err.Error()
 			ev.Kind = resilient.KindOf(err)
 		}
+		if done > 0 {
+			remaining := len(pending) - done
+			ev.ETA = time.Duration(float64(ev.Elapsed) / float64(done) * float64(remaining))
+		}
 		if sw.Stats != nil {
 			s := sw.Stats()
 			ev.Engine = &s
 		}
-		ev.PrunedInjections, ev.TotalInjections = inject.PruneStats()
-		obs.Event(ev)
+		snap := injSnap()
+		ev.Quarantined = snap.Quarantined
+		ev.PrunedInjections, ev.TotalInjections = snap.PrunedInjections, snap.TotalInjections
+		observer.Event(ev)
+		mu.Unlock()
 	})
 
 	mu.Lock()
@@ -341,9 +396,23 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Result, error) {
 	evaluated, nFailed := done, failed
 	mu.Unlock()
 
+	// The closing event carries the run's final counters, so a trace's last
+	// record is a self-contained summary.
+	doneEvent := func() Event {
+		ev := Event{Type: EventDone, Done: evaluated, Failed: nFailed,
+			Total: total, Restored: restored, Elapsed: time.Since(start)}
+		if sw.Stats != nil {
+			s := sw.Stats()
+			ev.Engine = &s
+		}
+		snap := injSnap()
+		ev.Quarantined = snap.Quarantined
+		ev.PrunedInjections, ev.TotalInjections = snap.PrunedInjections, snap.TotalInjections
+		return ev
+	}
+
 	if err := ctx.Err(); err != nil {
-		obs.Event(Event{Type: EventDone, Done: evaluated, Failed: nFailed,
-			Total: total, Restored: restored, Elapsed: time.Since(start)})
+		observer.Event(doneEvent())
 		return nil, err
 	}
 
@@ -366,8 +435,7 @@ func Run(ctx context.Context, sw Sweep, opt Options) (*Result, error) {
 	}
 	res.Frontier = frontierOf(res.Rows, sw.Key.Metric)
 
-	obs.Event(Event{Type: EventDone, Done: evaluated, Failed: nFailed,
-		Total: total, Restored: restored, Elapsed: time.Since(start)})
+	observer.Event(doneEvent())
 	return res, nil
 }
 
