@@ -46,6 +46,7 @@ import (
 	"clear/internal/obs"
 	"clear/internal/resilient"
 	"clear/internal/sweep"
+	"clear/internal/tcode"
 	"clear/internal/technique"
 )
 
@@ -70,7 +71,10 @@ func main() {
 		"serve /metrics, /debug/vars and /debug/pprof on this address while the sweep runs (e.g. 127.0.0.1:9090; empty = off)")
 	traceOut := flag.String("trace-out", "",
 		"write a JSONL event trace (sweep events + campaign records) to this file (empty = off)")
+	compiled := flag.Bool("compiled", true,
+		"execute programs as pre-translated threaded code (false = decode-switch interpreter; bit-identical escape hatch)")
 	flag.Parse()
+	tcode.SetEnabled(*compiled)
 
 	var kind inject.CoreKind
 	switch strings.ToLower(*coreName) {

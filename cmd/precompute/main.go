@@ -24,6 +24,7 @@ import (
 	"clear/internal/inject"
 	"clear/internal/obs"
 	"clear/internal/resilient"
+	"clear/internal/tcode"
 )
 
 func main() {
@@ -35,7 +36,10 @@ func main() {
 		"serve /metrics, /debug/vars and /debug/pprof on this address while warming (e.g. 127.0.0.1:9090; empty = off)")
 	traceOut := flag.String("trace-out", "",
 		"write a JSONL campaign trace to this file (empty = off)")
+	compiled := flag.Bool("compiled", true,
+		"execute programs as pre-translated threaded code (false = decode-switch interpreter; bit-identical escape hatch)")
 	flag.Parse()
+	tcode.SetEnabled(*compiled)
 	inject.CheckpointInterval = *ckptInterval
 	log.SetFlags(log.Ltime)
 	start := time.Now()

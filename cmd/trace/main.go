@@ -10,8 +10,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sort"
+	"strings"
 
 	"clear/internal/bench"
 	"clear/internal/inject"
@@ -22,20 +25,32 @@ import (
 )
 
 func main() {
-	benchName := flag.String("bench", "gzip", "benchmark name")
-	transform := flag.String("transform", "", "software transform: eddi, eddi-srb, seddi, cfcss, assert")
-	run := flag.Bool("run", false, "trace committed instructions instead of disassembling")
-	coreName := flag.String("core", "InO", "core for -run: InO or OoO")
-	n := flag.Int("n", 30, "number of commits to trace with -run")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run holds the whole CLI so tests can drive flag validation in-process.
+// Every flag is validated up front — a typo'd -core or -transform fails
+// loudly even in modes that would not otherwise consult the flag.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	benchName := fs.String("bench", "gzip", "benchmark name")
+	transform := fs.String("transform", "", "software transform: eddi, eddi-srb, seddi, cfcss, assert")
+	runFlag := fs.Bool("run", false, "trace committed instructions instead of disassembling")
+	coreName := fs.String("core", "InO", "core for -run: InO or OoO")
+	n := fs.Int("n", 30, "number of commits to trace with -run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	b := bench.ByName(*benchName)
 	if b == nil {
-		log.Fatalf("unknown benchmark %q (have: %v)", *benchName, bench.Names())
+		return fmt.Errorf("unknown benchmark %q (have: %v)", *benchName, bench.Names())
 	}
 	p, err := b.Program()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	switch *transform {
 	case "":
@@ -50,54 +65,61 @@ func main() {
 	case "assert":
 		p, err = swres.Assertions(p, swres.AssertCombined)
 	default:
-		log.Fatalf("unknown transform %q", *transform)
+		return fmt.Errorf("unknown transform %q (accepted: eddi, eddi-srb, seddi, cfcss, assert)", *transform)
 	}
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
-	if !*run {
-		disassemble(p)
-		return
-	}
-
-	kind := inject.InO
-	if *coreName == "OoO" {
+	var kind inject.CoreKind
+	switch strings.ToLower(*coreName) {
+	case "ino":
+		kind = inject.InO
+	case "ooo":
 		kind = inject.OoO
+	default:
+		return fmt.Errorf("unknown -core %q (accepted: InO, OoO)", *coreName)
 	}
+
+	if !*runFlag {
+		disassemble(w, p)
+		return nil
+	}
+
 	c := inject.NewCore(kind, p)
 	count := 0
 	c.SetCommitHook(func(ev sim.CommitEvent) bool {
 		if count < *n {
-			fmt.Printf("%6d  pc=%-5d %v\n", count, ev.PC, decodeStr(ev.Word))
+			fmt.Fprintf(w, "%6d  pc=%-5d %v\n", count, ev.PC, decodeStr(ev.Word))
 		}
 		count++
 		return false
 	})
 	res := c.Run(20_000_000)
-	fmt.Printf("... %d instructions committed in %d cycles (%v), output %v\n",
+	fmt.Fprintf(w, "... %d instructions committed in %d cycles (%v), output %v\n",
 		count, res.Steps, res.Status, res.Output)
+	return nil
 }
 
-func disassemble(p *prog.Program) {
+func disassemble(w io.Writer, p *prog.Program) {
 	// invert the label map for annotation
 	byPC := map[int][]string{}
 	for l, pc := range p.Labels {
 		byPC[pc] = append(byPC[pc], l)
 	}
-	fmt.Printf("%s: %d instructions, %d basic blocks, %d data words\n\n",
+	fmt.Fprintf(w, "%s: %d instructions, %d basic blocks, %d data words\n\n",
 		p.Name, len(p.Code), len(p.Blocks), len(p.Data))
 	for pc, in := range p.Code {
 		labels := byPC[pc]
 		sort.Strings(labels)
 		for _, l := range labels {
-			fmt.Printf("%s:\n", l)
+			fmt.Fprintf(w, "%s:\n", l)
 		}
 		marker := " "
 		if bi := p.BlockOf(pc); bi >= 0 && p.Blocks[bi].Start == pc {
 			marker = "▸"
 		}
-		fmt.Printf("%s %5d  %s\n", marker, pc, in)
+		fmt.Fprintf(w, "%s %5d  %s\n", marker, pc, in)
 	}
 }
 

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFlagValidation pins strict -core/-transform validation: unknown values
+// must fail with a diagnostic even in modes that would not otherwise consult
+// the flag (disassembly ignores -core, so a typo used to pass silently).
+func TestFlagValidation(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantErr string // "" = must succeed
+		wantOut string
+	}{
+		{"disassemble", []string{"-bench", "gzip"}, "", "basic blocks"},
+		{"bad core without -run", []string{"-bench", "gzip", "-core", "bogus"}, `unknown -core "bogus"`, ""},
+		{"bad core with -run", []string{"-bench", "gzip", "-run", "-core", "bogus"}, `unknown -core "bogus"`, ""},
+		{"bad transform", []string{"-bench", "gzip", "-transform", "bogus"}, `unknown transform "bogus"`, ""},
+		{"bad bench", []string{"-bench", "bogus"}, `unknown benchmark "bogus"`, ""},
+		{"run ok", []string{"-bench", "gzip", "-run", "-core", "ooo", "-n", "1"}, "", "committed"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out strings.Builder
+			err := run(tc.args, &out)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("args %v: unexpected error: %v", tc.args, err)
+				}
+				if !strings.Contains(out.String(), tc.wantOut) {
+					t.Fatalf("args %v: output missing %q:\n%s", tc.args, tc.wantOut, out.String())
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("args %v: expected error containing %q, got nil\noutput:\n%s", tc.args, tc.wantErr, out.String())
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("args %v: error %q missing %q", tc.args, err, tc.wantErr)
+			}
+		})
+	}
+}

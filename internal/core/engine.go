@@ -26,6 +26,7 @@ import (
 	"clear/internal/sim"
 	"clear/internal/singleflight"
 	"clear/internal/swres"
+	"clear/internal/tcode"
 	"clear/internal/technique"
 )
 
@@ -227,6 +228,12 @@ func (e *Engine) BuildProgram(b *bench.Benchmark, v Variant) (*prog.Program, err
 		if err != nil {
 			return nil, err
 		}
+		if tcode.Enabled() {
+			// Pre-warm the threaded-code translation inside the flight:
+			// every campaign sharing this (benchmark, variant) program gets
+			// compiled execution without paying translation again.
+			p.Threaded()
+		}
 		e.statProgramsBuilt.Add(1)
 		e.mu.Lock()
 		e.programs[key] = p
@@ -389,6 +396,29 @@ func (e *Engine) Campaign(b *bench.Benchmark, v Variant) (*inject.Result, error)
 // Base returns the baseline (unprotected) campaign for a benchmark.
 func (e *Engine) Base(b *bench.Benchmark) (*inject.Result, error) {
 	return e.Campaign(b, Variant{})
+}
+
+// SEMU runs a pair-injection (single-event multiple-upset) campaign for a
+// benchmark under a variant: samplesPerPair uniform-random cycles for every
+// flip-flop pair in pairs (typically the layout's adjacent pairs — the ones
+// a single particle can strike). The work runs through the engine's scoped
+// injector, so SEMU campaigns appear in the per-engine inject.* counters
+// exactly like single-flip campaigns.
+func (e *Engine) SEMU(b *bench.Benchmark, v Variant, pairs [][2]int, samplesPerPair int) (*inject.PairResult, error) {
+	p, err := e.BuildProgram(b, v)
+	if err != nil {
+		return nil, err
+	}
+	cfg := inject.PairConfig{
+		Core:           e.Kind,
+		Bench:          b.Name,
+		Tag:            v.Tag(),
+		SamplesPerPair: samplesPerPair,
+		Seed:           e.Seed,
+	}
+	return resilient.Safe(func() (*inject.PairResult, error) {
+		return e.Inj.RunPairs(cfg, p, pairs, v.hookFactory())
+	})
 }
 
 // ExecOverhead measures the error-free execution-time overhead of a variant

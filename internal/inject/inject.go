@@ -377,19 +377,12 @@ func (in *Injector) Run(cfg Config, p *prog.Program, hookFactory func(*prog.Prog
 // flip-flops struck by one particle flip in the same cycle. The paper's
 // layout constraint (Tables 5/6) exists precisely because an even number
 // of flips inside one parity group is invisible to an XOR tree.
+//
+// The injection and its outcome are tallied on the default injection scope;
+// use the Injector method (or RunPairFrom / RunPairs, see pair.go) to
+// attribute SEMU work to a specific scope or to warm-start it from a
+// reference trajectory.
 func RunPair(c sim.Core, p *prog.Program, bitA, bitB, cycle, nomCycles int,
 	hookFactory func(*prog.Program) sim.CommitHook) Outcome {
-	c.Reset(p)
-	if hookFactory != nil {
-		c.SetCommitHook(hookFactory(p))
-	} else {
-		c.SetCommitHook(nil)
-	}
-	for i := 0; i < cycle && !c.Done(); i++ {
-		c.Step()
-	}
-	c.State().FlipBit(bitA)
-	c.State().FlipBit(bitB)
-	res := c.Run(HangFactor * nomCycles)
-	return Classify(p, res)
+	return std.RunPair(c, p, bitA, bitB, cycle, nomCycles, hookFactory)
 }

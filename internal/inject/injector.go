@@ -34,7 +34,7 @@ type Injector struct {
 	injPruned   obs.Counter   // injections ended early by convergence pruning
 	pruneCycles obs.Histogram // cycles simulated post-injection before the prune hit
 
-	outVanished obs.Counter // campaign outcome tallies (computed campaigns only)
+	outVanished obs.Counter // outcome tallies (computed campaigns + standalone pair probes)
 	outOMM      obs.Counter
 	outUT       obs.Counter
 	outHang     obs.Counter

@@ -1,0 +1,238 @@
+package inject
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"clear/internal/prog"
+	"clear/internal/sim"
+)
+
+// This file is the single-event-multiple-upset (SEMU) side of the engine:
+// double-bit injections (one particle, two flip-flops, same cycle) and the
+// campaign loop over flip-flop pairs. Pair injections share the
+// single-flip machinery — the same Reference warm-start, the same
+// convergence pruning, and the same per-Injector counters — so SEMU work
+// is tallied and accelerated exactly like the single-flip campaigns.
+
+// runPairCold is the from-reset pair injection: run to cycle, flip both
+// bits, run to completion or the hang cutoff, classify.
+func runPairCold(c sim.Core, p *prog.Program, bitA, bitB, cycle, nomCycles int,
+	hookFactory func(*prog.Program) sim.CommitHook) Outcome {
+	c.Reset(p)
+	if hookFactory != nil {
+		c.SetCommitHook(hookFactory(p))
+	} else {
+		c.SetCommitHook(nil)
+	}
+	for i := 0; i < cycle && !c.Done(); i++ {
+		c.Step()
+	}
+	c.State().FlipBit(bitA)
+	c.State().FlipBit(bitB)
+	res := c.Run(HangFactor * nomCycles)
+	return Classify(p, res)
+}
+
+// RunPair is the scoped form of the package-level RunPair: the injection
+// and its outcome are tallied on this injector, so standalone SEMU probes
+// are visible through the same inject.* counters as campaigns.
+func (in *Injector) RunPair(c sim.Core, p *prog.Program, bitA, bitB, cycle, nomCycles int,
+	hookFactory func(*prog.Program) sim.CommitHook) Outcome {
+	in.injTotal.Add(1)
+	out := runPairCold(c, p, bitA, bitB, cycle, nomCycles, hookFactory)
+	var one Counts
+	one.Add(out)
+	in.addOutcomes(one)
+	return out
+}
+
+// RunPairFrom is the pair twin of RunOneFrom: it warm-starts the injection
+// from the reference trajectory's nearest snapshot, flips both bits at the
+// injection cycle, and applies convergence pruning at every checkpoint
+// boundary. The outcome is identical to RunPair's for the same
+// (bitA, bitB, cycle); hook-carrying runs fall back to the exact from-reset
+// path for the same reason RunOneFrom's do.
+//
+// The package-level function counts against the default injection scope;
+// use the Injector method to attribute the injection to a specific scope.
+func RunPairFrom(c sim.Core, p *prog.Program, ref *Reference, bitA, bitB, cycle, nomCycles int,
+	hookFactory func(*prog.Program) sim.CommitHook) Outcome {
+	return std.RunPairFrom(c, p, ref, bitA, bitB, cycle, nomCycles, hookFactory)
+}
+
+// RunPairFrom is the scoped form of the package-level RunPairFrom. Unlike
+// the standalone RunPair it tallies only the injection and prune counters;
+// outcome totals are batched by the campaign loop that owns it (RunPairs),
+// mirroring the single-flip RunOneFrom/Run contract.
+func (in *Injector) RunPairFrom(c sim.Core, p *prog.Program, ref *Reference, bitA, bitB, cycle, nomCycles int,
+	hookFactory func(*prog.Program) sim.CommitHook) Outcome {
+	in.injTotal.Add(1)
+	if hookFactory != nil || ref == nil || ref.Interval <= 0 || len(ref.Ckpts) == 0 {
+		return runPairCold(c, p, bitA, bitB, cycle, nomCycles, hookFactory)
+	}
+	idx := cycle / ref.Interval
+	if idx >= len(ref.Ckpts) {
+		idx = len(ref.Ckpts) - 1
+	}
+	c.Restore(ref.Ckpts[idx])
+	c.SetCommitHook(nil)
+	for c.Cycles() < cycle && !c.Done() {
+		c.Step()
+	}
+	c.State().FlipBit(bitA)
+	c.State().FlipBit(bitB)
+	budget := HangFactor * nomCycles
+	for !c.Done() && c.Cycles() < budget {
+		next := (c.Cycles()/ref.Interval + 1) * ref.Interval
+		if next > budget {
+			next = budget
+		}
+		for !c.Done() && c.Cycles() < next {
+			c.Step()
+		}
+		if c.Done() {
+			break
+		}
+		if i := c.Cycles() / ref.Interval; c.Cycles()%ref.Interval == 0 && i < len(ref.Ckpts) &&
+			c.Matches(ref.Ckpts[i]) {
+			in.injPruned.Add(1)
+			in.pruneCycles.Observe(int64(c.Cycles() - cycle))
+			return Vanished
+		}
+	}
+	var res prog.Result
+	if c.Done() {
+		res = c.Result()
+	} else {
+		res = prog.Result{Status: prog.StatusMaxSteps, Output: c.Output(), Steps: c.Cycles()}
+	}
+	return Classify(p, res)
+}
+
+// PairConfig describes a SEMU campaign: a (core, program) pair, the sampling
+// density per flip-flop pair, and the sampling seed. Tag distinguishes
+// campaigns running transformed programs or hooks, as in Config.
+type PairConfig struct {
+	Core           CoreKind
+	Bench          string
+	Tag            string
+	SamplesPerPair int
+	Seed           uint64
+}
+
+// PairResult is a completed SEMU campaign over an explicit pair list:
+// per-pair outcome tallies (indexed like the input pairs) plus totals.
+type PairResult struct {
+	Config    PairConfig
+	NomCycles int
+	PerPair   []Counts
+	Totals    Counts
+}
+
+// RunPairs executes a SEMU campaign over pairs: SamplesPerPair
+// uniform-random cycles for every flip-flop pair, warm-started and pruned
+// through the same reference trajectory as single-flip campaigns. Pair
+// lists come from the physical layout (e.g. Placement.AdjacentPairs — the
+// pairs one particle can reach).
+//
+// The package-level function counts against the default injection scope;
+// use the Injector method to attribute the campaign to a specific scope.
+func RunPairs(cfg PairConfig, p *prog.Program, pairs [][2]int,
+	hookFactory func(*prog.Program) sim.CommitHook) (*PairResult, error) {
+	return std.RunPairs(cfg, p, pairs, hookFactory)
+}
+
+// RunPairs is the scoped form of the package-level RunPairs: injections,
+// prunes, and outcome tallies land on this injector's counters.
+func (in *Injector) RunPairs(cfg PairConfig, p *prog.Program, pairs [][2]int,
+	hookFactory func(*prog.Program) sim.CommitHook) (*PairResult, error) {
+	if p.Expected == nil {
+		return nil, fmt.Errorf("inject: %s has no golden output", p.Name)
+	}
+	if cfg.SamplesPerPair < 0 || cfg.SamplesPerPair > math.MaxUint16 {
+		return nil, fmt.Errorf("inject: SamplesPerPair %d outside [0, %d]",
+			cfg.SamplesPerPair, math.MaxUint16)
+	}
+	nBits := SpaceBits(cfg.Core)
+	for _, pr := range pairs {
+		if pr[0] < 0 || pr[0] >= nBits || pr[1] < 0 || pr[1] >= nBits {
+			return nil, fmt.Errorf("inject: pair %v outside the %d-bit flip-flop space", pr, nBits)
+		}
+	}
+	var ref *Reference
+	var nomRes prog.Result
+	if hookFactory == nil && CheckpointInterval > 0 {
+		var err error
+		ref, nomRes, err = BuildReference(cfg.Core, p, CheckpointInterval, nomBudget)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		nom := NewCore(cfg.Core, p)
+		if hookFactory != nil {
+			nom.SetCommitHook(hookFactory(p))
+		}
+		nomRes = nom.Run(nomBudget)
+	}
+	if nomRes.Status != prog.StatusHalted || !p.OutputsEqual(nomRes.Output) {
+		return nil, fmt.Errorf("inject: nominal run of %s/%s failed: %v", cfg.Bench, cfg.Tag, nomRes.Status)
+	}
+	nomCycles := nomRes.Steps
+
+	res := &PairResult{
+		Config:    cfg,
+		NomCycles: nomCycles,
+		PerPair:   make([]Counts, len(pairs)),
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	type chunk struct{ lo, hi int }
+	chunks := make(chan chunk, workers)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			core := NewCore(cfg.Core, p)
+			local := make([]Counts, len(pairs))
+			var totals Counts
+			for ch := range chunks {
+				for pi := ch.lo; pi < ch.hi; pi++ {
+					for s := 0; s < cfg.SamplesPerPair; s++ {
+						h := splitmix64(cfg.Seed ^ uint64(pi)<<20 ^ uint64(s))
+						cycle := int(h % uint64(nomCycles))
+						out := in.RunPairFrom(core, p, ref, pairs[pi][0], pairs[pi][1],
+							cycle, nomCycles, hookFactory)
+						local[pi].Add(out)
+						totals.Add(out)
+					}
+				}
+			}
+			mu.Lock()
+			for i := range local {
+				res.PerPair[i].Merge(local[i])
+			}
+			res.Totals.Merge(totals)
+			mu.Unlock()
+		}()
+	}
+	const step = 16
+	for lo := 0; lo < len(pairs); lo += step {
+		hi := lo + step
+		if hi > len(pairs) {
+			hi = len(pairs)
+		}
+		chunks <- chunk{lo, hi}
+	}
+	close(chunks)
+	wg.Wait()
+	in.addOutcomes(res.Totals)
+	return res, nil
+}

@@ -1,0 +1,175 @@
+package inject
+
+import (
+	"testing"
+
+	"clear/internal/prog"
+)
+
+// TestRunPairFromEquivalence drives a randomized grid of (bitA, bitB, cycle)
+// double-flip injection points through both the from-reset RunPair path and
+// the warm-started RunPairFrom path on both cores and requires identical
+// outcome classifications — the regression test for the SEMU cold-start bug.
+func TestRunPairFromEquivalence(t *testing.T) {
+	p := tinyProgram(t)
+	for _, kind := range []CoreKind{InO, OoO} {
+		ref, nomRes, err := BuildReference(kind, p, 16, 100000)
+		if err != nil {
+			t.Fatalf("%v BuildReference: %v", kind, err)
+		}
+		if nomRes.Status != prog.StatusHalted {
+			t.Fatalf("%v nominal run failed: %v", kind, nomRes.Status)
+		}
+		nom := nomRes.Steps
+		if len(ref.Ckpts) < 2 {
+			t.Fatalf("%v: want several checkpoints, got %d (nominal %d cycles)",
+				kind, len(ref.Ckpts), nom)
+		}
+		cold := NewCore(kind, p)
+		warm := NewCore(kind, p)
+		nBits := SpaceBits(kind)
+		for s := 0; s < 200; s++ {
+			h := splitmix64(uint64(s) ^ 0x5EED)
+			bitA := int(h % uint64(nBits))
+			bitB := int((h >> 20) % uint64(nBits))
+			cycle := int((h >> 40) % uint64(nom))
+			o1 := RunPair(cold, p, bitA, bitB, cycle, nom, nil)
+			o2 := RunPairFrom(warm, p, ref, bitA, bitB, cycle, nom, nil)
+			if o1 != o2 {
+				t.Fatalf("%v bits=(%d,%d) cycle=%d: from-reset %v vs checkpointed %v",
+					kind, bitA, bitB, cycle, o1, o2)
+			}
+		}
+		// hook-carrying pair injections must keep the exact from-reset path
+		// (stateful hooks cannot warm-start) and still agree
+		for s := 0; s < 40; s++ {
+			h := splitmix64(uint64(s) ^ 0xD0B1E)
+			bitA := int(h % uint64(nBits))
+			bitB := int((h >> 20) % uint64(nBits))
+			cycle := int((h >> 40) % uint64(nom))
+			hf := boundsHook(1 << 20)
+			o1 := RunPair(cold, p, bitA, bitB, cycle, nom, hf)
+			o2 := RunPairFrom(warm, p, ref, bitA, bitB, cycle, nom, hf)
+			if o1 != o2 {
+				t.Fatalf("%v hooked bits=(%d,%d) cycle=%d: %v vs %v",
+					kind, bitA, bitB, cycle, o1, o2)
+			}
+		}
+	}
+}
+
+// TestRunPairsCampaign covers the SEMU campaign loop: per-pair tallies sum
+// to the totals, every pair gets exactly SamplesPerPair injections, and a
+// repeated run with the same seed is identical (determinism across the
+// worker pool).
+func TestRunPairsCampaign(t *testing.T) {
+	p := tinyProgram(t)
+	for _, kind := range []CoreKind{InO, OoO} {
+		nBits := SpaceBits(kind)
+		pairs := [][2]int{{0, 1}, {1, 2}, {5, nBits - 1}, {nBits - 2, nBits - 1}}
+		cfg := PairConfig{Core: kind, Bench: "tiny", SamplesPerPair: 3, Seed: 0x5E30}
+		res, err := RunPairs(cfg, p, pairs, nil)
+		if err != nil {
+			t.Fatalf("%v RunPairs: %v", kind, err)
+		}
+		if len(res.PerPair) != len(pairs) {
+			t.Fatalf("%v: PerPair length %d, want %d", kind, len(res.PerPair), len(pairs))
+		}
+		var sum Counts
+		for i, c := range res.PerPair {
+			if c.N != cfg.SamplesPerPair {
+				t.Errorf("%v pair %d: %d samples, want %d", kind, i, c.N, cfg.SamplesPerPair)
+			}
+			sum.Merge(c)
+		}
+		if sum != res.Totals {
+			t.Fatalf("%v: per-pair sum %+v != totals %+v", kind, sum, res.Totals)
+		}
+		if want := len(pairs) * cfg.SamplesPerPair; res.Totals.N != want {
+			t.Fatalf("%v: totals.N = %d, want %d", kind, res.Totals.N, want)
+		}
+		again, err := RunPairs(cfg, p, pairs, nil)
+		if err != nil {
+			t.Fatalf("%v RunPairs repeat: %v", kind, err)
+		}
+		if again.Totals != res.Totals || again.NomCycles != res.NomCycles ||
+			len(again.PerPair) != len(res.PerPair) {
+			t.Fatalf("%v: repeated campaign differs", kind)
+		}
+		for i := range again.PerPair {
+			if again.PerPair[i] != res.PerPair[i] {
+				t.Fatalf("%v: repeated campaign pair %d differs: %+v vs %+v",
+					kind, i, again.PerPair[i], res.PerPair[i])
+			}
+		}
+	}
+}
+
+// TestRunPairsValidation pins the campaign's input checking: missing golden
+// output, out-of-range pair bits, and an out-of-range sample count must all
+// fail up front rather than mid-campaign.
+func TestRunPairsValidation(t *testing.T) {
+	p := tinyProgram(t)
+	noGolden := &prog.Program{Name: "nogolden", MemWords: 16}
+	if _, err := RunPairs(PairConfig{Core: InO, SamplesPerPair: 1}, noGolden, nil, nil); err == nil {
+		t.Error("RunPairs accepted a program with no golden output")
+	}
+	if _, err := RunPairs(PairConfig{Core: InO, SamplesPerPair: 1}, p,
+		[][2]int{{0, SpaceBits(InO)}}, nil); err == nil {
+		t.Error("RunPairs accepted an out-of-range pair bit")
+	}
+	if _, err := RunPairs(PairConfig{Core: InO, SamplesPerPair: -1}, p, nil, nil); err == nil {
+		t.Error("RunPairs accepted a negative sample count")
+	}
+}
+
+// TestInjectorScopedPairCounters extends the scoped-injector coverage to
+// pair injections: standalone RunPair probes and RunPairs campaigns must
+// tally injections and outcomes on the owning Injector, not bypass it.
+func TestInjectorScopedPairCounters(t *testing.T) {
+	p := tinyProgram(t)
+	in := NewInjector()
+	nom := NewCore(InO, p).Run(100000).Steps
+
+	c := NewCore(InO, p)
+	out := in.RunPair(c, p, 1, 2, nom/2, nom, nil)
+	if got := in.Snapshot().TotalInjections; got != 1 {
+		t.Fatalf("after one RunPair: TotalInjections = %d, want 1", got)
+	}
+	if got := in.outcomeTotal(); got != 1 {
+		t.Fatalf("after one RunPair (%v): outcome tallies sum to %d, want 1", out, got)
+	}
+
+	pairs := [][2]int{{0, 1}, {2, 3}}
+	cfg := PairConfig{Core: InO, Bench: "tiny", SamplesPerPair: 2, Seed: 7}
+	res, err := in.RunPairs(cfg, p, pairs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantInj := int64(1 + len(pairs)*cfg.SamplesPerPair)
+	if got := in.Snapshot().TotalInjections; got != wantInj {
+		t.Fatalf("after RunPairs: TotalInjections = %d, want %d", got, wantInj)
+	}
+	if got, want := in.outcomeTotal(), int64(1+res.Totals.N); got != want {
+		t.Fatalf("after RunPairs: outcome tallies sum to %d, want %d", got, want)
+	}
+
+	// The default scope must be untouched by the scoped campaign above:
+	// run one probe through the package-level wrapper and check only std
+	// moved.
+	before := std.Snapshot().TotalInjections
+	RunPair(c, p, 3, 4, nom/3, nom, nil)
+	if got := std.Snapshot().TotalInjections; got != before+1 {
+		t.Fatalf("package RunPair: std TotalInjections %d -> %d, want +1", before, got)
+	}
+	if got := in.Snapshot().TotalInjections; got != wantInj {
+		t.Fatalf("package RunPair leaked into scoped injector: %d, want %d", got, wantInj)
+	}
+}
+
+// outcomeTotal sums the per-outcome counters — test-only visibility into
+// the batched outcome tallies.
+func (in *Injector) outcomeTotal() int64 {
+	return in.outVanished.Value() + in.outOMM.Value() + in.outUT.Value() +
+		in.outHang.Value() + in.outED.Value()
+}

@@ -11,6 +11,9 @@ type extra struct {
 
 // Snapshot captures the full simulation state at the current cycle.
 func (c *Core) Snapshot() *sim.Checkpoint {
+	if c.uValid {
+		c.packU() // materialize the compiled path's latches; mirror stays current
+	}
 	return &sim.Checkpoint{
 		FF:      c.st.Clone(),
 		Regs:    c.regfile,
@@ -27,6 +30,7 @@ func (c *Core) Snapshot() *sim.Checkpoint {
 // Restore rewinds the core to ck, which must have been taken from an
 // in-order core bound to the same program.
 func (c *Core) Restore(ck *sim.Checkpoint) {
+	c.uValid = false // packed state becomes authoritative
 	c.st.CopyFrom(ck.FF)
 	c.regfile = ck.Regs
 	if cap(c.mem) >= len(ck.Mem) {
@@ -50,6 +54,9 @@ func (c *Core) Matches(ck *sim.Checkpoint) bool {
 	e, ok := ck.Extra.(extra)
 	if !ok {
 		return false
+	}
+	if c.uValid {
+		c.packU() // materialize the compiled path's latches; mirror stays current
 	}
 	return c.cycles == ck.Cycles &&
 		c.retired == ck.Retired &&

@@ -20,6 +20,7 @@ import (
 	"clear/internal/isa"
 	"clear/internal/prog"
 	"clear/internal/sim"
+	"clear/internal/tcode"
 )
 
 // illegalWord is the instruction word returned for out-of-range fetches; its
@@ -118,6 +119,20 @@ type Core struct {
 	// injectable flip-flop space.
 	recoveryNext uint32
 	nextAtM      uint32
+
+	// tp is the program's threaded-code translation when compiled execution
+	// is enabled (nil runs the decode-switch interpreter); dcache memoizes
+	// decodes of words that miss the per-PC translation (corrupted latches,
+	// bubbles, out-of-range fetches).
+	tp     *tcode.Program
+	dcache tcode.Cache
+
+	// u is the unpacked latch mirror the compiled path executes on; uValid
+	// marks it current. Observation points (State, Snapshot, Matches,
+	// Restore, Reset, FlushRecover) synchronize it with the packed st so
+	// external code always sees the interpreter's exact bit layout.
+	u      uLatches
+	uValid bool
 
 	hook sim.CommitHook
 }
@@ -273,10 +288,20 @@ func (c *Core) Reset(p *prog.Program) {
 	c.status = prog.StatusHalted
 	c.recoveryNext = 0
 	c.nextAtM = 0
+	c.tp = nil
+	if tcode.Enabled() {
+		c.tp = p.Threaded()
+	}
+	c.uValid = false
 }
 
-// State exposes the flip-flop state for fault injection.
-func (c *Core) State() *ff.State { return c.st }
+// State exposes the flip-flop state for fault injection. Compiled
+// execution flushes its unpacked mirror first and re-unpacks on the next
+// step, so callers may freely flip bits in the returned state.
+func (c *Core) State() *ff.State {
+	c.syncU()
+	return c.st
+}
 
 // SpaceOf returns the core's flip-flop space.
 func (c *Core) SpaceOf() *ff.Space { return c.space }
@@ -327,6 +352,10 @@ func needsRs(op isa.Op) (rs1, rs2 bool) {
 
 // Step advances the pipeline by one clock cycle.
 func (c *Core) Step() {
+	if c.tp != nil {
+		c.stepThreaded()
+		return
+	}
 	if c.done {
 		return
 	}
@@ -626,6 +655,7 @@ func (c *Core) Step() {
 // pre-commit state; the pipeline-refill penalty (about the Table 15 flush
 // latency) is paid in simulated cycles.
 func (c *Core) FlushRecover() {
+	c.syncU()
 	st := c.st
 	r := &c.r
 	r.dValid.Set(st, 0)

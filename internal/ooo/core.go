@@ -5,6 +5,7 @@ import (
 	"clear/internal/isa"
 	"clear/internal/prog"
 	"clear/internal/sim"
+	"clear/internal/tcode"
 )
 
 const illegalWord = 0xFFFFFFFF
@@ -32,6 +33,13 @@ type Core struct {
 	retired int64
 	done    bool
 	status  prog.Status
+
+	// tp is the program's threaded-code translation when compiled execution
+	// is enabled (nil runs the decode-switch interpreter); dcache memoizes
+	// decodes of words that miss the per-PC translation (corrupted state,
+	// out-of-range fetch words).
+	tp     *tcode.Program
+	dcache tcode.Cache
 
 	hook sim.CommitHook
 }
@@ -71,6 +79,10 @@ func (c *Core) Reset(p *prog.Program) {
 	c.retired = 0
 	c.done = false
 	c.status = prog.StatusHalted
+	c.tp = nil
+	if tcode.Enabled() {
+		c.tp = p.Threaded()
+	}
 }
 
 // State exposes the flip-flop state for fault injection.
@@ -122,6 +134,20 @@ func (c *Core) Step() {
 		return
 	}
 	c.cycles++
+	if c.tp != nil {
+		// compiled execution: the decode-bearing stages run their threaded
+		// twins (threaded.go); the decode-free units are shared
+		c.commitT()
+		if c.done {
+			return
+		}
+		c.loadUnitTick()
+		c.mulPipeTick()
+		c.executeT()
+		c.dispatchT()
+		c.fetchT()
+		return
+	}
 	c.commit()
 	if c.done {
 		return

@@ -1,0 +1,469 @@
+package ooo
+
+import (
+	"clear/internal/isa"
+	"clear/internal/prog"
+	"clear/internal/sim"
+	"clear/internal/tcode"
+)
+
+// This file holds the compiled-execution twins of the decode-bearing stages
+// in core.go (commit, execute, dispatch, fetch): the same machine, cycle
+// for cycle and bit for bit, with every isa.Decode call and execute switch
+// replaced by a pre-translated tcode.DInst lookup. The decode-free units
+// (loadUnitTick, mulPipeTick, tryIssueLoad, broadcast/complete, freeIQ) are
+// shared with the interpreter, which stays untouched so the two paths
+// remain independently checkable.
+
+// dec returns the translation of instruction word w that the machine
+// associates with pc. Uncorrupted program text hits the per-PC table;
+// everything else compiles through the core's decode cache. Both are pure
+// functions of w, so corrupted words decode exactly as under isa.Decode.
+func (c *Core) dec(pc, w uint32) *tcode.DInst {
+	if d := c.tp.AtPC(pc, w); d != nil {
+		return d
+	}
+	return c.dcache.Decode(w)
+}
+
+// commitT is the threaded twin of commit.
+func (c *Core) commitT() {
+	st := c.st
+	r := &c.r
+	for n := 0; n < CommitWidth; n++ {
+		count := r.robCount.Get(st)
+		if count == 0 {
+			return
+		}
+		head := r.robHead.Get(st) % RobSize
+		if r.robDone[head].Get(st) == 0 {
+			return
+		}
+		c.retired++
+		if r.robExc[head].Get(st) != 0 {
+			c.done = true
+			c.status = prog.StatusTrap
+			return
+		}
+		word := uint32(r.robInst[head].Get(st))
+		pc := uint32(r.robPC[head].Get(st))
+		d := c.dec(pc, word)
+		val := uint32(r.robVal[head].Get(st))
+		flags := r.robFlags[head].Get(st)
+		var addr, storeVal uint32
+		switch {
+		case d.In.Op == isa.HALT:
+			c.done = true
+			c.status = prog.StatusHalted
+			return
+		case d.In.Op == isa.TRAPD:
+			c.done = true
+			c.status = prog.StatusDetected
+			return
+		case d.In.Op == isa.OUT:
+			c.out = append(c.out, val)
+		case flags&1 != 0: // store: drain the store queue into memory
+			sqh := r.sqHead.Get(st) % SQSize
+			if r.sqValid[sqh].Get(st) == 1 && r.sqRob[sqh].Get(st) == head {
+				addr = uint32(r.sqAddr[sqh].Get(st))
+				storeVal = uint32(r.sqData[sqh].Get(st))
+				if int(int32(addr)) < 0 || int(int32(addr)) >= len(c.mem) {
+					c.done = true
+					c.status = prog.StatusTrap
+					return
+				}
+				c.mem[int32(addr)] = storeVal
+				r.sqValid[sqh].Set(st, 0)
+				r.sqHead.Set(st, (sqh+1)%SQSize)
+				if cnt := r.sqCount.Get(st); cnt > 0 {
+					r.sqCount.Set(st, cnt-1)
+				}
+			}
+		default:
+			if d.Valid && d.WritesReg && d.In.Rd != 0 {
+				c.arf[d.In.Rd] = val
+				// release the rename mapping if it still points here
+				m := r.rat[d.In.Rd].Get(st)
+				if m&0x40 != 0 && m&0x3F == head {
+					r.rat[d.In.Rd].Set(st, 0)
+				}
+			}
+		}
+		// retire the entry
+		r.robHead.Set(st, (head+1)%RobSize)
+		r.robCount.Set(st, count-1)
+		// architecturally-inert retirement staging registers
+		r.wbRet[int(head)%8].Set(st, uint64(val))
+		if c.hook != nil {
+			ev := sim.CommitEvent{PC: pc, Word: word,
+				Result: val, StoreVal: storeVal, Addr: addr}
+			if c.hook(ev) {
+				c.done = true
+				c.status = prog.StatusDetected
+				return
+			}
+		}
+	}
+}
+
+// executeT is the threaded twin of execute.
+func (c *Core) executeT() {
+	st := c.st
+	r := &c.r
+	head := r.robHead.Get(st) % RobSize
+
+	// Oldest-first select of ready entries.
+	var ready [IQSize]readyEntry
+	nReady := 0
+	for i := 0; i < IQSize; i++ {
+		if r.iqValid[i].Get(st) == 0 {
+			continue
+		}
+		if r.iqS1Rdy[i].Get(st) == 0 || r.iqS2Rdy[i].Get(st) == 0 {
+			continue
+		}
+		ready[nReady] = readyEntry{iq: i, age: c.age(head, r.iqRob[i].Get(st)%RobSize)}
+		nReady++
+	}
+	// insertion sort by age (nReady <= 16)
+	for i := 1; i < nReady; i++ {
+		for j := i; j > 0 && ready[j].age < ready[j-1].age; j-- {
+			ready[j], ready[j-1] = ready[j-1], ready[j]
+		}
+	}
+
+	issued := 0
+	loadPortBusy := r.ldValid.Get(st) == 1
+	mulPortBusy := r.muV[0].Get(st) == 1
+	for k := 0; k < nReady && issued < IssueWidth; k++ {
+		i := ready[k].iq
+		word := uint32(r.iqInst[i].Get(st))
+		tag := r.iqRob[i].Get(st) % RobSize
+		d := c.dec(uint32(r.robPC[tag].Get(st)), word)
+		s1 := uint32(r.iqS1Val[i].Get(st))
+		s2 := uint32(r.iqS2Val[i].Get(st))
+
+		switch {
+		case d.In.Op == isa.LW:
+			if loadPortBusy {
+				continue // structural hazard: try again next cycle
+			}
+			if !c.tryIssueLoad(i, tag, d.In, s1, head) {
+				continue
+			}
+			loadPortBusy = true
+		case d.In.Op == isa.MUL || d.In.Op == isa.MULH:
+			if mulPortBusy {
+				continue
+			}
+			r.muA[0].Set(st, uint64(s1))
+			r.muB[0].Set(st, uint64(s2))
+			r.muRob[0].Set(st, tag)
+			if d.In.Op == isa.MULH {
+				r.muHi[0].Set(st, 1)
+			} else {
+				r.muHi[0].Set(st, 0)
+			}
+			r.muV[0].Set(st, 1)
+			mulPortBusy = true
+			r.iqValid[i].Set(st, 0)
+		case d.In.Op == isa.SW:
+			addr := uint32(int32(s1) + d.In.Imm)
+			if int(int32(addr)) < 0 || int(int32(addr)) >= len(c.mem) {
+				r.robExc[tag].Set(st, 1)
+			}
+			// fill this store's queue entry
+			for q := 0; q < SQSize; q++ {
+				if r.sqValid[q].Get(st) == 1 && r.sqRob[q].Get(st) == tag && r.sqDone[q].Get(st) == 0 {
+					r.sqAddr[q].Set(st, uint64(addr))
+					r.sqData[q].Set(st, uint64(s2))
+					r.sqDone[q].Set(st, 1)
+					break
+				}
+			}
+			c.complete(tag, addr)
+			r.iqValid[i].Set(st, 0)
+		case d.IsControl:
+			c.executeBranchT(i, tag, d, s1, s2)
+			// executeBranchT may squash the whole window, including our
+			// ready list; stop selecting this cycle.
+			issued++
+			if r.iqValid[i].Get(st) == 1 {
+				r.iqValid[i].Set(st, 0)
+			}
+			return
+		default:
+			val, exc := d.ALU(s1, s2)
+			if exc {
+				r.robExc[tag].Set(st, 1)
+				r.robDone[tag].Set(st, 1)
+			} else {
+				c.complete(tag, val)
+			}
+			r.iqValid[i].Set(st, 0)
+			r.rrEx[i%6].Set(st, uint64(val))
+		}
+		issued++
+	}
+}
+
+// executeBranchT is the threaded twin of executeBranch.
+func (c *Core) executeBranchT(iq int, tag uint64, d *tcode.DInst, s1, s2 uint32) {
+	st := c.st
+	r := &c.r
+	pc := uint32(r.robPC[tag].Get(st))
+	taken, target := d.Br(s1, s2, pc)
+	link := pc + 1
+
+	// result value (link for jumps)
+	var val uint32
+	if d.IsJump {
+		val = link
+	}
+	c.complete(tag, val)
+	r.iqValid[iq].Set(st, 0)
+	r.caBr.Set(st, b2u(taken))
+	r.caP[0].Set(st, uint64(target))
+
+	// predictor updates (performance-only state)
+	if d.IsBranch {
+		h := (uint64(pc) ^ r.lhist.Get(st)) % gshareSize
+		ctr := c.gshare[h]
+		if taken && ctr < 3 {
+			c.gshare[h] = ctr + 1
+		} else if !taken && ctr > 0 {
+			c.gshare[h] = ctr - 1
+		}
+		r.lhist.Set(st, r.lhist.Get(st)<<1|b2u(taken))
+	}
+	if taken {
+		c.btbTag[pc%btbSize] = pc
+		c.btbTgt[pc%btbSize] = target
+		c.btbValid[pc%btbSize] = true
+		r.takenAddr.Set(st, uint64(target))
+	}
+
+	predTaken := r.robFlags[tag].Get(st)&4 != 0
+	predTgt := uint32(r.robPTgt[tag].Get(st))
+	mispredict := taken != predTaken || (taken && target != predTgt)
+	if !mispredict {
+		return
+	}
+
+	// ---- squash everything younger than the branch ----
+	head := r.robHead.Get(st) % RobSize
+	bAge := c.age(head, tag)
+	r.robTail.Set(st, (tag+1)%RobSize)
+	r.robCount.Set(st, bAge+1)
+	// issue queue
+	for i := 0; i < IQSize; i++ {
+		if r.iqValid[i].Get(st) == 1 && c.age(head, r.iqRob[i].Get(st)%RobSize) > bAge {
+			r.iqValid[i].Set(st, 0)
+		}
+	}
+	// store queue: pop younger entries from the tail
+	for r.sqCount.Get(st) > 0 {
+		t := (r.sqTail.Get(st) + SQSize - 1) % SQSize
+		if r.sqValid[t].Get(st) == 1 && c.age(head, r.sqRob[t].Get(st)%RobSize) > bAge {
+			r.sqValid[t].Set(st, 0)
+			r.sqTail.Set(st, t)
+			r.sqCount.Set(st, r.sqCount.Get(st)-1)
+		} else {
+			break
+		}
+	}
+	// in-flight load
+	if r.ldValid.Get(st) == 1 && c.age(head, r.ldRob.Get(st)%RobSize) > bAge {
+		r.ldValid.Set(st, 0)
+	}
+	// multiplier pipeline
+	for i := 0; i < 4; i++ {
+		if r.muV[i].Get(st) == 1 && c.age(head, r.muRob[i].Get(st)%RobSize) > bAge {
+			r.muV[i].Set(st, 0)
+		}
+	}
+	// rebuild the rename table from the surviving window
+	for a := 0; a < 32; a++ {
+		r.rat[a].Set(st, 0)
+	}
+	for a := uint64(0); a <= bAge; a++ {
+		idx := (head + a) % RobSize
+		wd := c.dec(uint32(r.robPC[idx].Get(st)), uint32(r.robInst[idx].Get(st)))
+		if wd.Valid && wd.WritesReg && wd.In.Rd != 0 {
+			r.rat[wd.In.Rd].Set(st, 0x40|idx)
+		}
+	}
+	// flush the fetch buffer and redirect
+	r.fbHead.Set(st, 0)
+	r.fbTail.Set(st, 0)
+	r.fbCount.Set(st, 0)
+	var next uint32
+	if taken {
+		next = target
+	} else {
+		next = pc + 1
+	}
+	r.pc.Set(st, uint64(next))
+}
+
+// dispatchT is the threaded twin of dispatch.
+func (c *Core) dispatchT() {
+	st := c.st
+	r := &c.r
+	for n := 0; n < FetchWidth; n++ {
+		if r.fbCount.Get(st) == 0 {
+			return
+		}
+		if r.robCount.Get(st) >= RobSize {
+			return
+		}
+		fh := r.fbHead.Get(st) % FBSize
+		word := uint32(r.fbInst[fh].Get(st))
+		pcv := r.fbPC[fh].Get(st)
+		d := c.dec(uint32(pcv), word)
+
+		needIQ := d.Valid && d.In.Op != isa.NOP && d.In.Op != isa.HALT && d.In.Op != isa.TRAPD
+		if needIQ {
+			if c.freeIQ() < 0 {
+				return
+			}
+			if d.In.Op == isa.SW && r.sqCount.Get(st) >= SQSize {
+				return
+			}
+		}
+
+		// allocate ROB entry
+		tail := r.robTail.Get(st) % RobSize
+		r.robInst[tail].Set(st, uint64(word))
+		r.robPC[tail].Set(st, pcv)
+		r.robVal[tail].Set(st, 0)
+		var flags uint64
+		if d.In.Op == isa.SW {
+			flags |= 1
+		}
+		if d.IsControl {
+			flags |= 2
+			if r.fbPred[fh].Get(st) == 1 {
+				flags |= 4
+			}
+			r.robPTgt[tail].Set(st, r.fbPTgt[fh].Get(st))
+		}
+		r.robFlags[tail].Set(st, flags)
+
+		if !d.Valid {
+			r.robExc[tail].Set(st, 1)
+			r.robDone[tail].Set(st, 1)
+		} else if !needIQ {
+			r.robExc[tail].Set(st, 0)
+			r.robDone[tail].Set(st, 1)
+		} else {
+			r.robExc[tail].Set(st, 0)
+			r.robDone[tail].Set(st, 0)
+			iq := c.freeIQ()
+			r.iqValid[iq].Set(st, 1)
+			r.iqInst[iq].Set(st, uint64(word))
+			r.iqRob[iq].Set(st, tail)
+			c.renameSourceT(iq, 0, d)
+			c.renameSourceT(iq, 1, d)
+			if d.In.Op == isa.SW {
+				// allocate a store-queue slot in program order
+				sqt := r.sqTail.Get(st) % SQSize
+				r.sqValid[sqt].Set(st, 1)
+				r.sqRob[sqt].Set(st, tail)
+				r.sqDone[sqt].Set(st, 0)
+				r.sqTail.Set(st, (sqt+1)%SQSize)
+				r.sqCount.Set(st, r.sqCount.Get(st)+1)
+			}
+		}
+
+		// rename destination
+		if d.Valid && d.WritesReg && d.In.Rd != 0 {
+			r.rat[d.In.Rd].Set(st, 0x40|tail)
+		}
+
+		r.robTail.Set(st, (tail+1)%RobSize)
+		r.robCount.Set(st, r.robCount.Get(st)+1)
+		r.fbHead.Set(st, (fh+1)%FBSize)
+		r.fbCount.Set(st, r.fbCount.Get(st)-1)
+	}
+}
+
+// renameSourceT is the threaded twin of renameSource.
+func (c *Core) renameSourceT(iq, k int, d *tcode.DInst) {
+	st := c.st
+	r := &c.r
+	tagF, rdyF, valF := r.iqS1Tag[iq], r.iqS1Rdy[iq], r.iqS1Val[iq]
+	if k == 1 {
+		tagF, rdyF, valF = r.iqS2Tag[iq], r.iqS2Rdy[iq], r.iqS2Val[iq]
+	}
+	var reg uint8
+	var used bool
+	if k == 0 {
+		reg, used = d.In.Rs1, d.NeedsRs1
+	} else {
+		reg, used = d.In.Rs2, d.NeedsRs2
+	}
+	if !used || reg == 0 {
+		rdyF.Set(st, 1)
+		valF.Set(st, uint64(c.arf[reg&31]))
+		if reg == 0 {
+			valF.Set(st, 0)
+		}
+		return
+	}
+	m := r.rat[reg].Get(st)
+	if m&0x40 == 0 {
+		valF.Set(st, uint64(c.arf[reg]))
+		rdyF.Set(st, 1)
+		return
+	}
+	t := m & 0x3F % RobSize
+	if r.robDone[t].Get(st) == 1 && r.robExc[t].Get(st) == 0 {
+		valF.Set(st, r.robVal[t].Get(st))
+		rdyF.Set(st, 1)
+		return
+	}
+	tagF.Set(st, t)
+	rdyF.Set(st, 0)
+	valF.Set(st, 0)
+}
+
+// fetchT is the threaded twin of fetch.
+func (c *Core) fetchT() {
+	st := c.st
+	r := &c.r
+	for n := 0; n < FetchWidth; n++ {
+		if r.fbCount.Get(st) >= FBSize {
+			return
+		}
+		pc := uint32(r.pc.Get(st))
+		var word uint32 = illegalWord
+		if int(pc) < len(c.program.Words) {
+			word = c.program.Words[pc]
+		}
+		// branch prediction: BTB hit + gshare direction
+		predTaken := false
+		var predTgt uint32
+		bi := pc % btbSize
+		if c.btbValid[bi] && c.btbTag[bi] == pc {
+			h := (uint64(pc) ^ r.lhist.Get(st)) % gshareSize
+			d := c.dec(pc, word)
+			if d.IsJump || c.gshare[h] >= 2 {
+				predTaken = true
+				predTgt = c.btbTgt[bi]
+			}
+		}
+		ft := r.fbTail.Get(st) % FBSize
+		r.fbInst[ft].Set(st, uint64(word))
+		r.fbPC[ft].Set(st, uint64(pc))
+		r.fbPred[ft].Set(st, b2u(predTaken))
+		r.fbPTgt[ft].Set(st, uint64(predTgt))
+		r.fbTail.Set(st, (ft+1)%FBSize)
+		r.fbCount.Set(st, r.fbCount.Get(st)+1)
+		if predTaken {
+			r.pc.Set(st, uint64(predTgt))
+			return // redirected: stop fetching this cycle
+		}
+		r.pc.Set(st, uint64(pc+1))
+	}
+}

@@ -7,8 +7,10 @@ package prog
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"clear/internal/isa"
+	"clear/internal/tcode"
 )
 
 // Var names a program variable's location in data memory, so the harness can
@@ -41,6 +43,21 @@ type Program struct {
 	Expected []uint32 // golden output stream
 	Vars     []Var
 	Blocks   []Block
+
+	// threaded-code translation of Words, built on first use. Words is
+	// assigned once at assembly time and never mutated, so the translation
+	// can never go stale.
+	tcOnce sync.Once
+	tc     *tcode.Program
+}
+
+// Threaded returns the program's threaded-code translation, compiling it on
+// first call. The translation is memoized on the Program, so everything that
+// shares a *Program — notably every campaign of a sweep, via core.Engine's
+// per-(benchmark, variant) program memo — pays translation exactly once.
+func (p *Program) Threaded() *tcode.Program {
+	p.tcOnce.Do(func() { p.tc = tcode.Translate(p.Words) })
+	return p.tc
 }
 
 // New assembles items into a Program. MemWords must cover the data image.
