@@ -8,10 +8,11 @@
 // throughput (simulated cycles/sec through inject.Run, which bypasses the
 // on-disk campaign cache), plus the one-time threaded-code translation cost
 // of the benchmark program. The process exits nonzero if compiled campaign
-// throughput is below the interpreter's on any measured core, so CI can
-// gate on the file it uploads.
+// throughput is below the interpreter's on any measured core — or fails to
+// strictly beat it on the out-of-order core — so CI can gate on the file it
+// uploads.
 //
-//	perfbench -bench gzip -samples 1 -out BENCH_6.json
+//	perfbench -bench gzip -samples 1 -out BENCH_7.json
 package main
 
 import (
@@ -55,8 +56,15 @@ func main() {
 	benchName := flag.String("bench", "gzip", "benchmark to measure")
 	samples := flag.Int("samples", 1, "injections per flip-flop for the campaign measurement")
 	nomReps := flag.Int("nom-reps", 20, "fault-free runs to average for nominal speed")
-	out := flag.String("out", "BENCH_6.json", "output JSON path (empty = stdout only)")
+	out := flag.String("out", "BENCH_7.json", "output JSON path (empty = stdout only)")
 	flag.Parse()
+
+	if *samples < 1 {
+		log.Fatalf("-samples must be >= 1 (got %d)", *samples)
+	}
+	if *nomReps < 1 {
+		log.Fatalf("-nom-reps must be >= 1 (got %d)", *nomReps)
+	}
 
 	b := bench.ByName(*benchName)
 	if b == nil {
@@ -89,6 +97,16 @@ func main() {
 		var cs coreStats
 		cs.Interpreted = measure(kind, p, b.Name, false, *samples, *nomReps)
 		cs.Compiled = measure(kind, p, b.Name, true, *samples, *nomReps)
+		// Guard the speedup denominators: a degenerate measurement (zero
+		// throughput) must fail the cell, not poison the report with NaN/Inf
+		// that json.MarshalIndent rejects.
+		if cs.Interpreted.CampaignCyclesPerSec <= 0 || cs.Interpreted.NominalCyclesPerSec <= 0 {
+			fmt.Fprintf(os.Stderr, "perfbench: degenerate interpreted measurement on %s (campaign %.0f, nominal %.0f cycles/sec)\n",
+				kind, cs.Interpreted.CampaignCyclesPerSec, cs.Interpreted.NominalCyclesPerSec)
+			rep.Cores[kind.String()] = cs
+			failed = true
+			continue
+		}
 		cs.CampaignSpeedup = cs.Compiled.CampaignCyclesPerSec / cs.Interpreted.CampaignCyclesPerSec
 		cs.NominalSpeedup = cs.Compiled.NominalCyclesPerSec / cs.Interpreted.NominalCyclesPerSec
 		rep.Cores[kind.String()] = cs
@@ -96,8 +114,15 @@ func main() {
 			kind,
 			cs.Interpreted.NominalCyclesPerSec, cs.Compiled.NominalCyclesPerSec, cs.NominalSpeedup,
 			cs.Interpreted.CampaignCyclesPerSec, cs.Compiled.CampaignCyclesPerSec, cs.CampaignSpeedup)
+		// Gate: compiled must not lose to the interpreter anywhere, and on
+		// the OoO core — where the unpacked mirror is supposed to pay off —
+		// it must strictly win.
 		if cs.CampaignSpeedup < 1.0 {
 			fmt.Fprintf(os.Stderr, "perfbench: compiled campaign SLOWER than interpreted on %s (%.2fx)\n",
+				kind, cs.CampaignSpeedup)
+			failed = true
+		} else if kind == inject.OoO && cs.CampaignSpeedup <= 1.0 {
+			fmt.Fprintf(os.Stderr, "perfbench: compiled campaign did not beat interpreted on %s (%.2fx)\n",
 				kind, cs.CampaignSpeedup)
 			failed = true
 		}
@@ -127,8 +152,9 @@ func main() {
 // never the disk cache), with a fixed seed so both modes simulate the
 // identical injection workload.
 func measure(kind inject.CoreKind, p *prog.Program, name string, compiled bool, samples, nomReps int) modeStats {
+	prior := tcode.Enabled()
 	tcode.SetEnabled(compiled)
-	defer tcode.SetEnabled(true)
+	defer tcode.SetEnabled(prior)
 
 	var s modeStats
 	c := inject.NewCore(kind, p)

@@ -5,6 +5,8 @@ import (
 	"reflect"
 	"testing"
 
+	"clear/internal/ino"
+	"clear/internal/ooo"
 	"clear/internal/prog"
 	"clear/internal/tcode"
 )
@@ -16,6 +18,34 @@ func setCompiled(t testing.TB, on bool) {
 	t.Helper()
 	tcode.SetEnabled(on)
 	t.Cleanup(func() { tcode.SetEnabled(true) })
+}
+
+// mirrorFieldBits returns the flip-flop bit indices of named pipeline
+// structures that live behind each core's unpacked latch mirror — ROB, issue
+// queue and store queue entries on the OoO core, execute/memory latches on
+// the InO core. Injections targeted here exercise the mirror's
+// pack/unpack boundary rather than arbitrary bits.
+func mirrorFieldBits(t testing.TB, kind CoreKind) []int {
+	t.Helper()
+	names := map[CoreKind][]string{
+		InO: {"e.op1", "e.ctrl.inst", "w.s.icc"},
+		OoO: {"rob.head.reg", "rob.inst5", "rob.done7", "rob.count.reg",
+			"sched0.s1val3", "sched0.valid2", "sched0.rob9",
+			"mem.stq.address2", "mem.stq.count.reg", "mem.stq.valid0"},
+	}[kind]
+	sp := ino.Space()
+	if kind == OoO {
+		sp = ooo.Space()
+	}
+	var bits []int
+	for _, n := range names {
+		bs := sp.BitsOf(n)
+		if len(bs) == 0 {
+			t.Fatalf("%v: field %q missing from space", kind, n)
+		}
+		bits = append(bits, bs...)
+	}
+	return bits
 }
 
 // FuzzThreadedEquivalence is the property pinning compiled execution to the
@@ -52,8 +82,14 @@ func FuzzThreadedEquivalence(f *testing.F) {
 			setCompiled(t, true)
 			ct := NewCore(kind, p)
 
+			mirrorBits := mirrorFieldBits(t, kind)
 			bit := int(bitSeed) % SpaceBits(kind)
 			flipCycle := int(cycleSeed % 256)
+			// obsCycle crosses the mirror's observation boundary mid-run:
+			// Snapshot/Matches while the mirror is live, identity Restore,
+			// a flip targeted into a mirrored ROB/IQ/SQ/pipeline field, and
+			// (InO) FlushRecover — applied to both modes in lockstep.
+			obsCycle := int((bitSeed ^ cycleSeed) % 256)
 			const maxCycles = 512
 			for cyc := 0; cyc < maxCycles; cyc++ {
 				if cyc == flipCycle {
@@ -72,6 +108,25 @@ func FuzzThreadedEquivalence(f *testing.F) {
 				}
 				if ci.Done() {
 					break
+				}
+				if cyc == obsCycle {
+					ckI, ckT := ci.Snapshot(), ct.Snapshot()
+					if !ct.Matches(ckI) || !ci.Matches(ckT) {
+						t.Fatalf("%v: cross-mode Matches failed at observation cycle %d", kind, cyc+1)
+					}
+					ci.Restore(ckI)
+					ct.Restore(ckT)
+					mb := mirrorBits[int(bitSeed>>8)%len(mirrorBits)]
+					ci.State().FlipBit(mb)
+					ct.State().FlipBit(mb)
+					if kind == InO {
+						ci.(interface{ FlushRecover() }).FlushRecover()
+						ct.(interface{ FlushRecover() }).FlushRecover()
+					}
+					if !ci.State().Equal(ct.State()) {
+						t.Fatalf("%v: state diverged across observation boundary at cycle %d (mirror bit %d)",
+							kind, cyc+1, mb)
+					}
 				}
 			}
 			if !reflect.DeepEqual(ci.Output(), ct.Output()) {
@@ -102,32 +157,86 @@ func TestThreadedNominalEquivalence(t *testing.T) {
 	}
 }
 
-// TestCompiledCampaignEquivalence asserts a fixed-seed campaign is
+// TestCompiledCampaignEquivalence asserts fixed-seed campaigns are
 // bit-identical between execution modes on both cores: same per-flip-flop
-// statistics, same totals, same detection latencies.
+// statistics, same totals, same detection latencies. The two-samples config
+// doubles the density of warm-start Restore/Matches/FlipBit crossings over
+// the OoO mirror's observation boundary.
 func TestCompiledCampaignEquivalence(t *testing.T) {
 	p := tinyProgram(t)
 	for _, kind := range []CoreKind{InO, OoO} {
-		cfg := Config{Core: kind, Bench: "tiny", SamplesPerFF: 1, Seed: 0xBEEF}
-		setCompiled(t, true)
-		rc, err := Run(cfg, p, nil)
-		if err != nil {
-			t.Fatalf("%v compiled: %v", kind, err)
+		for _, cfg := range []Config{
+			{Core: kind, Bench: "tiny", SamplesPerFF: 1, Seed: 0xBEEF},
+			{Core: kind, Bench: "tiny", SamplesPerFF: 2, Seed: 0x7E57},
+		} {
+			setCompiled(t, true)
+			rc, err := Run(cfg, p, nil)
+			if err != nil {
+				t.Fatalf("%v compiled: %v", kind, err)
+			}
+			setCompiled(t, false)
+			ri, err := Run(cfg, p, nil)
+			if err != nil {
+				t.Fatalf("%v interpreted: %v", kind, err)
+			}
+			if !reflect.DeepEqual(rc, ri) {
+				t.Fatalf("%v (samples=%d): campaign results differ between execution modes:\ncompiled   %+v\ninterpreted %+v",
+					kind, cfg.SamplesPerFF, rc.Totals, ri.Totals)
+			}
 		}
+	}
+}
+
+// TestMirrorObservationBoundaries walks both cores through every observation
+// point while the compiled path's unpacked mirror is live: mid-run Snapshot,
+// cross-mode Matches, identity Restore, bit flips targeted into mirrored
+// ROB/IQ/SQ (OoO) and pipeline-latch (InO) fields between materializations,
+// and FlushRecover on the in-order core — asserting the interpreter twin
+// never diverges.
+func TestMirrorObservationBoundaries(t *testing.T) {
+	p := tinyProgram(t)
+	for _, kind := range []CoreKind{InO, OoO} {
 		setCompiled(t, false)
-		ri, err := Run(cfg, p, nil)
-		if err != nil {
-			t.Fatalf("%v interpreted: %v", kind, err)
+		ci := NewCore(kind, p)
+		setCompiled(t, true)
+		ct := NewCore(kind, p)
+
+		mirrorBits := mirrorFieldBits(t, kind)
+		const maxCycles = 400
+		for cyc := 1; cyc <= maxCycles && !ci.Done(); cyc++ {
+			ci.Step()
+			ct.Step()
+			if !ci.State().Equal(ct.State()) {
+				t.Fatalf("%v: state diverged at cycle %d", kind, cyc)
+			}
+			switch {
+			case cyc%32 == 0: // observation boundary: snapshot + identity restore
+				ckI, ckT := ci.Snapshot(), ct.Snapshot()
+				if !ct.Matches(ckI) {
+					t.Fatalf("%v: compiled core does not match interpreter snapshot at cycle %d", kind, cyc)
+				}
+				if !ci.Matches(ckT) {
+					t.Fatalf("%v: interpreter does not match compiled snapshot at cycle %d", kind, cyc)
+				}
+				ci.Restore(ckI)
+				ct.Restore(ckT)
+			case cyc%13 == 0: // inject into a mirrored structure mid-run
+				mb := mirrorBits[(cyc/13)%len(mirrorBits)]
+				ci.State().FlipBit(mb)
+				ct.State().FlipBit(mb)
+			case kind == InO && cyc%47 == 0: // flush recovery with mirror live
+				ci.(interface{ FlushRecover() }).FlushRecover()
+				ct.(interface{ FlushRecover() }).FlushRecover()
+			}
 		}
-		if !reflect.DeepEqual(rc, ri) {
-			t.Fatalf("%v: campaign results differ between execution modes:\ncompiled   %+v\ninterpreted %+v",
-				kind, rc.Totals, ri.Totals)
+		if !ct.Matches(ci.Snapshot()) {
+			t.Fatalf("%v: full state diverged after observation-boundary walk", kind)
 		}
 	}
 }
 
 // BenchmarkCampaignModes measures the full campaign loop in both execution
-// modes on both cores — the before/after numbers behind BENCH_6.json and
+// modes on both cores — the before/after numbers behind BENCH_7.json and
 // the CI gate that compiled mode must not be slower.
 func BenchmarkCampaignModes(b *testing.B) {
 	p := tinyProgram(b)

@@ -17,6 +17,11 @@ type extra struct {
 
 // Snapshot captures the full simulation state at the current cycle.
 func (c *Core) Snapshot() *sim.Checkpoint {
+	if c.uValid {
+		// materialize the packed view; the mirror stays current, so a
+		// subsequent compiled step needn't re-unpack
+		c.packU()
+	}
 	return &sim.Checkpoint{
 		FF:      c.st.Clone(),
 		Regs:    c.arf,
@@ -40,6 +45,7 @@ func (c *Core) Snapshot() *sim.Checkpoint {
 // Restore rewinds the core to ck, which must have been taken from an
 // out-of-order core bound to the same program.
 func (c *Core) Restore(ck *sim.Checkpoint) {
+	c.uValid = false // packed state becomes authoritative
 	c.st.CopyFrom(ck.FF)
 	c.arf = ck.Regs
 	if cap(c.mem) >= len(ck.Mem) {
@@ -67,6 +73,9 @@ func (c *Core) Matches(ck *sim.Checkpoint) bool {
 	e, ok := ck.Extra.(*extra)
 	if !ok {
 		return false
+	}
+	if c.uValid {
+		c.packU() // compare against the live mirror's packed view
 	}
 	return c.cycles == ck.Cycles &&
 		c.retired == ck.Retired &&

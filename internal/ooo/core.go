@@ -41,6 +41,12 @@ type Core struct {
 	tp     *tcode.Program
 	dcache tcode.Cache
 
+	// u is the unpacked latch mirror (unpacked.go) the compiled path runs
+	// on; uValid marks it current. While uValid, the mirror is authoritative
+	// and c.st is stale until an observation point packs it back.
+	u      uLatches
+	uValid bool
+
 	hook sim.CommitHook
 }
 
@@ -79,14 +85,21 @@ func (c *Core) Reset(p *prog.Program) {
 	c.retired = 0
 	c.done = false
 	c.status = prog.StatusHalted
+	c.uValid = false // packed state is authoritative after reset
 	c.tp = nil
 	if tcode.Enabled() {
 		c.tp = p.Threaded()
 	}
 }
 
-// State exposes the flip-flop state for fault injection.
-func (c *Core) State() *ff.State { return c.st }
+// State exposes the flip-flop state for fault injection. The caller may
+// mutate the returned state (FlipBit), so the unpacked mirror is flushed and
+// invalidated first; the next compiled step re-unpacks whatever the caller
+// left behind.
+func (c *Core) State() *ff.State {
+	c.syncU()
+	return c.st
+}
 
 // SpaceOf returns the core's flip-flop space.
 func (c *Core) SpaceOf() *ff.Space { return c.space }
@@ -130,24 +143,16 @@ func (c *Core) age(head, i uint64) uint64 {
 
 // Step advances the machine one clock cycle.
 func (c *Core) Step() {
+	if c.tp != nil {
+		// compiled execution runs every stage on the unpacked latch mirror
+		// (threaded.go / unpacked.go)
+		c.stepThreaded()
+		return
+	}
 	if c.done {
 		return
 	}
 	c.cycles++
-	if c.tp != nil {
-		// compiled execution: the decode-bearing stages run their threaded
-		// twins (threaded.go); the decode-free units are shared
-		c.commitT()
-		if c.done {
-			return
-		}
-		c.loadUnitTick()
-		c.mulPipeTick()
-		c.executeT()
-		c.dispatchT()
-		c.fetchT()
-		return
-	}
 	c.commit()
 	if c.done {
 		return

@@ -7,13 +7,15 @@ import (
 	"clear/internal/tcode"
 )
 
-// This file holds the compiled-execution twins of the decode-bearing stages
-// in core.go (commit, execute, dispatch, fetch): the same machine, cycle
-// for cycle and bit for bit, with every isa.Decode call and execute switch
-// replaced by a pre-translated tcode.DInst lookup. The decode-free units
-// (loadUnitTick, mulPipeTick, tryIssueLoad, broadcast/complete, freeIQ) are
-// shared with the interpreter, which stays untouched so the two paths
-// remain independently checkable.
+// This file holds the compiled-execution twins of every stage in core.go:
+// the same machine, cycle for cycle and bit for bit, with every isa.Decode
+// call and execute switch replaced by a pre-translated tcode.DInst lookup,
+// and every ROB/IQ/SQ/rename/latch access running on the unpacked mirror
+// (unpacked.go) instead of the packed bit array — packed state is
+// materialized only at observation points. The interpreter in core.go is
+// deliberately left untouched so the two paths stay independently checkable
+// (FuzzThreadedEquivalence pins them to each other) and `-compiled=false`
+// falls back to genuinely different code.
 
 // dec returns the translation of instruction word w that the machine
 // associates with pc. Uncorrupted program text hits the per-PC table;
@@ -26,30 +28,51 @@ func (c *Core) dec(pc, w uint32) *tcode.DInst {
 	return c.dcache.Decode(w)
 }
 
-// commitT is the threaded twin of commit.
-func (c *Core) commitT() {
-	st := c.st
-	r := &c.r
+// stepThreaded advances the machine one clock cycle on the unpacked latch
+// mirror, mirroring Step unit for unit.
+func (c *Core) stepThreaded() {
+	if c.done {
+		return
+	}
+	if !c.uValid {
+		c.unpackU()
+		c.uValid = true
+	}
+	c.cycles++
+	c.commitU()
+	if c.done {
+		return
+	}
+	c.loadUnitTickU()
+	c.mulPipeTickU()
+	c.executeU()
+	c.dispatchU()
+	c.fetchU()
+}
+
+// commitU is the compiled twin of commit.
+func (c *Core) commitU() {
+	u := &c.u
 	for n := 0; n < CommitWidth; n++ {
-		count := r.robCount.Get(st)
+		count := u.robCount
 		if count == 0 {
 			return
 		}
-		head := r.robHead.Get(st) % RobSize
-		if r.robDone[head].Get(st) == 0 {
+		head := u.robHead % RobSize
+		if u.robDone[head] == 0 {
 			return
 		}
 		c.retired++
-		if r.robExc[head].Get(st) != 0 {
+		if u.robExc[head] != 0 {
 			c.done = true
 			c.status = prog.StatusTrap
 			return
 		}
-		word := uint32(r.robInst[head].Get(st))
-		pc := uint32(r.robPC[head].Get(st))
+		word := uint32(u.robInst[head])
+		pc := uint32(u.robPC[head])
 		d := c.dec(pc, word)
-		val := uint32(r.robVal[head].Get(st))
-		flags := r.robFlags[head].Get(st)
+		val := uint32(u.robVal[head])
+		flags := u.robFlags[head]
 		var addr, storeVal uint32
 		switch {
 		case d.In.Op == isa.HALT:
@@ -63,37 +86,36 @@ func (c *Core) commitT() {
 		case d.In.Op == isa.OUT:
 			c.out = append(c.out, val)
 		case flags&1 != 0: // store: drain the store queue into memory
-			sqh := r.sqHead.Get(st) % SQSize
-			if r.sqValid[sqh].Get(st) == 1 && r.sqRob[sqh].Get(st) == head {
-				addr = uint32(r.sqAddr[sqh].Get(st))
-				storeVal = uint32(r.sqData[sqh].Get(st))
+			sqh := u.sqHead % SQSize
+			if u.sqValid[sqh] == 1 && u.sqRob[sqh] == head {
+				addr = uint32(u.sqAddr[sqh])
+				storeVal = uint32(u.sqData[sqh])
 				if int(int32(addr)) < 0 || int(int32(addr)) >= len(c.mem) {
 					c.done = true
 					c.status = prog.StatusTrap
 					return
 				}
 				c.mem[int32(addr)] = storeVal
-				r.sqValid[sqh].Set(st, 0)
-				r.sqHead.Set(st, (sqh+1)%SQSize)
-				if cnt := r.sqCount.Get(st); cnt > 0 {
-					r.sqCount.Set(st, cnt-1)
+				u.sqValid[sqh] = 0
+				u.sqHead = (sqh + 1) % SQSize
+				if u.sqCount > 0 {
+					u.sqCount--
 				}
 			}
 		default:
 			if d.Valid && d.WritesReg && d.In.Rd != 0 {
 				c.arf[d.In.Rd] = val
 				// release the rename mapping if it still points here
-				m := r.rat[d.In.Rd].Get(st)
-				if m&0x40 != 0 && m&0x3F == head {
-					r.rat[d.In.Rd].Set(st, 0)
+				if m := u.rat[d.In.Rd]; m&0x40 != 0 && m&0x3F == head {
+					u.rat[d.In.Rd] = 0
 				}
 			}
 		}
 		// retire the entry
-		r.robHead.Set(st, (head+1)%RobSize)
-		r.robCount.Set(st, count-1)
+		u.robHead = (head + 1) % RobSize
+		u.robCount = count - 1
 		// architecturally-inert retirement staging registers
-		r.wbRet[int(head)%8].Set(st, uint64(val))
+		u.wbRet[int(head)%8] = uint64(val)
 		if c.hook != nil {
 			ev := sim.CommitEvent{PC: pc, Word: word,
 				Result: val, StoreVal: storeVal, Addr: addr}
@@ -106,23 +128,102 @@ func (c *Core) commitT() {
 	}
 }
 
-// executeT is the threaded twin of execute.
-func (c *Core) executeT() {
-	st := c.st
-	r := &c.r
-	head := r.robHead.Get(st) % RobSize
+// broadcastU is the compiled twin of broadcast.
+func (c *Core) broadcastU(tag uint64, val uint32) {
+	u := &c.u
+	for i := 0; i < IQSize; i++ {
+		if u.iqValid[i] == 0 {
+			continue
+		}
+		if u.iqS1Rdy[i] == 0 && u.iqS1Tag[i] == tag {
+			u.iqS1Val[i] = uint64(val)
+			u.iqS1Rdy[i] = 1
+		}
+		if u.iqS2Rdy[i] == 0 && u.iqS2Tag[i] == tag {
+			u.iqS2Val[i] = uint64(val)
+			u.iqS2Rdy[i] = 1
+		}
+	}
+}
+
+// completeU is the compiled twin of complete.
+func (c *Core) completeU(tag uint64, val uint32) {
+	u := &c.u
+	tag %= RobSize
+	u.robVal[tag] = uint64(val)
+	u.robDone[tag] = 1
+	c.broadcastU(tag, val)
+	// bypass staging churn (architecturally inert)
+	u.exWb[int(tag)%6] = uint64(val)
+}
+
+// loadUnitTickU is the compiled twin of loadUnitTick.
+func (c *Core) loadUnitTickU() {
+	u := &c.u
+	if u.ldValid == 0 {
+		return
+	}
+	if cnt := u.ldCnt; cnt > 0 {
+		u.ldCnt = cnt - 1
+		return
+	}
+	addr := uint32(u.ldAddr)
+	var data uint32
+	if int(int32(addr)) >= 0 && int(int32(addr)) < len(c.mem) {
+		data = c.mem[int32(addr)]
+	}
+	u.ldData = uint64(data)
+	u.ldDataIn[int(addr)%4] = uint64(data)
+	c.completeU(u.ldRob, data)
+	u.ldValid = 0
+}
+
+// mulPipeTickU is the compiled twin of mulPipeTick.
+func (c *Core) mulPipeTickU() {
+	u := &c.u
+	// retire from the last stage
+	if u.muV[3] == 1 {
+		a := uint32(u.muA[3])
+		b := uint32(u.muB[3])
+		p := int64(int32(a)) * int64(int32(b))
+		var val uint32
+		if u.muHi[3] == 1 {
+			val = uint32(uint64(p) >> 32)
+		} else {
+			val = uint32(p)
+		}
+		c.completeU(u.muRob[3], val)
+		u.muV[3] = 0
+	}
+	// shift earlier stages forward
+	for i := 3; i > 0; i-- {
+		if u.muV[i-1] == 1 && u.muV[i] == 0 {
+			u.muA[i] = u.muA[i-1]
+			u.muB[i] = u.muB[i-1]
+			u.muRob[i] = u.muRob[i-1]
+			u.muHi[i] = u.muHi[i-1]
+			u.muV[i] = 1
+			u.muV[i-1] = 0
+		}
+	}
+}
+
+// executeU is the compiled twin of execute.
+func (c *Core) executeU() {
+	u := &c.u
+	head := u.robHead % RobSize
 
 	// Oldest-first select of ready entries.
 	var ready [IQSize]readyEntry
 	nReady := 0
 	for i := 0; i < IQSize; i++ {
-		if r.iqValid[i].Get(st) == 0 {
+		if u.iqValid[i] == 0 {
 			continue
 		}
-		if r.iqS1Rdy[i].Get(st) == 0 || r.iqS2Rdy[i].Get(st) == 0 {
+		if u.iqS1Rdy[i] == 0 || u.iqS2Rdy[i] == 0 {
 			continue
 		}
-		ready[nReady] = readyEntry{iq: i, age: c.age(head, r.iqRob[i].Get(st)%RobSize)}
+		ready[nReady] = readyEntry{iq: i, age: c.age(head, u.iqRob[i]%RobSize)}
 		nReady++
 	}
 	// insertion sort by age (nReady <= 16)
@@ -133,22 +234,22 @@ func (c *Core) executeT() {
 	}
 
 	issued := 0
-	loadPortBusy := r.ldValid.Get(st) == 1
-	mulPortBusy := r.muV[0].Get(st) == 1
+	loadPortBusy := u.ldValid == 1
+	mulPortBusy := u.muV[0] == 1
 	for k := 0; k < nReady && issued < IssueWidth; k++ {
 		i := ready[k].iq
-		word := uint32(r.iqInst[i].Get(st))
-		tag := r.iqRob[i].Get(st) % RobSize
-		d := c.dec(uint32(r.robPC[tag].Get(st)), word)
-		s1 := uint32(r.iqS1Val[i].Get(st))
-		s2 := uint32(r.iqS2Val[i].Get(st))
+		word := uint32(u.iqInst[i])
+		tag := u.iqRob[i] % RobSize
+		d := c.dec(uint32(u.robPC[tag]), word)
+		s1 := uint32(u.iqS1Val[i])
+		s2 := uint32(u.iqS2Val[i])
 
 		switch {
 		case d.In.Op == isa.LW:
 			if loadPortBusy {
 				continue // structural hazard: try again next cycle
 			}
-			if !c.tryIssueLoad(i, tag, d.In, s1, head) {
+			if !c.tryIssueLoadU(i, tag, d.In.Imm, s1, head) {
 				continue
 			}
 			loadPortBusy = true
@@ -156,62 +257,128 @@ func (c *Core) executeT() {
 			if mulPortBusy {
 				continue
 			}
-			r.muA[0].Set(st, uint64(s1))
-			r.muB[0].Set(st, uint64(s2))
-			r.muRob[0].Set(st, tag)
+			u.muA[0] = uint64(s1)
+			u.muB[0] = uint64(s2)
+			u.muRob[0] = tag
 			if d.In.Op == isa.MULH {
-				r.muHi[0].Set(st, 1)
+				u.muHi[0] = 1
 			} else {
-				r.muHi[0].Set(st, 0)
+				u.muHi[0] = 0
 			}
-			r.muV[0].Set(st, 1)
+			u.muV[0] = 1
 			mulPortBusy = true
-			r.iqValid[i].Set(st, 0)
+			u.iqValid[i] = 0
 		case d.In.Op == isa.SW:
 			addr := uint32(int32(s1) + d.In.Imm)
 			if int(int32(addr)) < 0 || int(int32(addr)) >= len(c.mem) {
-				r.robExc[tag].Set(st, 1)
+				u.robExc[tag] = 1
 			}
 			// fill this store's queue entry
 			for q := 0; q < SQSize; q++ {
-				if r.sqValid[q].Get(st) == 1 && r.sqRob[q].Get(st) == tag && r.sqDone[q].Get(st) == 0 {
-					r.sqAddr[q].Set(st, uint64(addr))
-					r.sqData[q].Set(st, uint64(s2))
-					r.sqDone[q].Set(st, 1)
+				if u.sqValid[q] == 1 && u.sqRob[q] == tag && u.sqDone[q] == 0 {
+					u.sqAddr[q] = uint64(addr)
+					u.sqData[q] = uint64(s2)
+					u.sqDone[q] = 1
 					break
 				}
 			}
-			c.complete(tag, addr)
-			r.iqValid[i].Set(st, 0)
+			c.completeU(tag, addr)
+			u.iqValid[i] = 0
 		case d.IsControl:
-			c.executeBranchT(i, tag, d, s1, s2)
-			// executeBranchT may squash the whole window, including our
+			c.executeBranchU(i, tag, d, s1, s2)
+			// executeBranchU may squash the whole window, including our
 			// ready list; stop selecting this cycle.
 			issued++
-			if r.iqValid[i].Get(st) == 1 {
-				r.iqValid[i].Set(st, 0)
+			if u.iqValid[i] == 1 {
+				u.iqValid[i] = 0
 			}
 			return
 		default:
 			val, exc := d.ALU(s1, s2)
 			if exc {
-				r.robExc[tag].Set(st, 1)
-				r.robDone[tag].Set(st, 1)
+				u.robExc[tag] = 1
+				u.robDone[tag] = 1
 			} else {
-				c.complete(tag, val)
+				c.completeU(tag, val)
 			}
-			r.iqValid[i].Set(st, 0)
-			r.rrEx[i%6].Set(st, uint64(val))
+			u.iqValid[i] = 0
+			u.rrEx[i%6] = uint64(val)
 		}
 		issued++
 	}
 }
 
-// executeBranchT is the threaded twin of executeBranch.
-func (c *Core) executeBranchT(iq int, tag uint64, d *tcode.DInst, s1, s2 uint32) {
-	st := c.st
-	r := &c.r
-	pc := uint32(r.robPC[tag].Get(st))
+// tryIssueLoadU is the compiled twin of tryIssueLoad; imm is the load's
+// pre-decoded immediate.
+func (c *Core) tryIssueLoadU(iq int, tag uint64, imm int32, s1 uint32, head uint64) bool {
+	u := &c.u
+	loadAge := c.age(head, tag)
+	// memory-ordering check: any older store not yet executed blocks us
+	for a := uint64(0); a < loadAge; a++ {
+		idx := (head + a) % RobSize
+		if u.robFlags[idx]&1 != 0 && u.robDone[idx] == 0 {
+			return false
+		}
+	}
+	addr := uint32(int32(s1) + imm)
+	u.ldAddrIn[int(addr)%4] = uint64(addr)
+	if int(int32(addr)) < 0 || int(int32(addr)) >= len(c.mem) {
+		u.robExc[tag] = 1
+		u.robDone[tag] = 1
+		u.iqValid[iq] = 0
+		return true
+	}
+	// store-to-load forwarding: youngest older store to the same address
+	bestAge := uint64(RobSize)
+	var bestData uint32
+	found := false
+	for q := 0; q < SQSize; q++ {
+		if u.sqValid[q] == 0 || u.sqDone[q] == 0 {
+			continue
+		}
+		sAge := c.age(head, u.sqRob[q]%RobSize)
+		if sAge >= loadAge {
+			continue
+		}
+		if uint32(u.sqAddr[q]) == addr {
+			// youngest older = largest age below loadAge
+			if !found || sAge > bestAge || (bestAge == uint64(RobSize)) {
+				if !found || sAge > bestAge {
+					bestAge = sAge
+					bestData = uint32(u.sqData[q])
+				}
+				found = true
+			}
+		}
+	}
+	if found {
+		c.completeU(tag, bestData)
+		u.iqValid[iq] = 0
+		return true
+	}
+	// cache access with variable latency
+	line := (addr >> 2) % CacheLines
+	blk := addr >> 2
+	lat := uint64(MissLatency)
+	if c.cacheVld[line] && c.cacheTag[line] == blk {
+		lat = HitLatency
+	} else {
+		c.cacheVld[line] = true
+		c.cacheTag[line] = blk
+	}
+	u.ldValid = 1
+	u.ldRob = tag
+	u.ldAddr = uint64(addr)
+	u.ldCnt = lat
+	u.ldAddrOut[int(line)%2] = uint64(addr)
+	u.iqValid[iq] = 0
+	return true
+}
+
+// executeBranchU is the compiled twin of executeBranch.
+func (c *Core) executeBranchU(iq int, tag uint64, d *tcode.DInst, s1, s2 uint32) {
+	u := &c.u
+	pc := uint32(u.robPC[tag])
 	taken, target := d.Br(s1, s2, pc)
 	link := pc + 1
 
@@ -220,182 +387,178 @@ func (c *Core) executeBranchT(iq int, tag uint64, d *tcode.DInst, s1, s2 uint32)
 	if d.IsJump {
 		val = link
 	}
-	c.complete(tag, val)
-	r.iqValid[iq].Set(st, 0)
-	r.caBr.Set(st, b2u(taken))
-	r.caP[0].Set(st, uint64(target))
+	c.completeU(tag, val)
+	u.iqValid[iq] = 0
+	u.caBr = b2u(taken)
+	u.caP[0] = uint64(target)
 
 	// predictor updates (performance-only state)
 	if d.IsBranch {
-		h := (uint64(pc) ^ r.lhist.Get(st)) % gshareSize
+		h := (uint64(pc) ^ u.lhist) % gshareSize
 		ctr := c.gshare[h]
 		if taken && ctr < 3 {
 			c.gshare[h] = ctr + 1
 		} else if !taken && ctr > 0 {
 			c.gshare[h] = ctr - 1
 		}
-		r.lhist.Set(st, r.lhist.Get(st)<<1|b2u(taken))
+		// the packed field is 12 bits wide; mask the shift register exactly
+		// as ff.Field.Set truncates it on the interpreter path
+		u.lhist = (u.lhist<<1 | b2u(taken)) & 0xFFF
 	}
 	if taken {
 		c.btbTag[pc%btbSize] = pc
 		c.btbTgt[pc%btbSize] = target
 		c.btbValid[pc%btbSize] = true
-		r.takenAddr.Set(st, uint64(target))
+		u.takenAddr = uint64(target)
 	}
 
-	predTaken := r.robFlags[tag].Get(st)&4 != 0
-	predTgt := uint32(r.robPTgt[tag].Get(st))
+	predTaken := u.robFlags[tag]&4 != 0
+	predTgt := uint32(u.robPTgt[tag])
 	mispredict := taken != predTaken || (taken && target != predTgt)
 	if !mispredict {
 		return
 	}
 
 	// ---- squash everything younger than the branch ----
-	head := r.robHead.Get(st) % RobSize
+	head := u.robHead % RobSize
 	bAge := c.age(head, tag)
-	r.robTail.Set(st, (tag+1)%RobSize)
-	r.robCount.Set(st, bAge+1)
+	u.robTail = (tag + 1) % RobSize
+	u.robCount = bAge + 1
 	// issue queue
 	for i := 0; i < IQSize; i++ {
-		if r.iqValid[i].Get(st) == 1 && c.age(head, r.iqRob[i].Get(st)%RobSize) > bAge {
-			r.iqValid[i].Set(st, 0)
+		if u.iqValid[i] == 1 && c.age(head, u.iqRob[i]%RobSize) > bAge {
+			u.iqValid[i] = 0
 		}
 	}
 	// store queue: pop younger entries from the tail
-	for r.sqCount.Get(st) > 0 {
-		t := (r.sqTail.Get(st) + SQSize - 1) % SQSize
-		if r.sqValid[t].Get(st) == 1 && c.age(head, r.sqRob[t].Get(st)%RobSize) > bAge {
-			r.sqValid[t].Set(st, 0)
-			r.sqTail.Set(st, t)
-			r.sqCount.Set(st, r.sqCount.Get(st)-1)
+	for u.sqCount > 0 {
+		t := (u.sqTail + SQSize - 1) % SQSize
+		if u.sqValid[t] == 1 && c.age(head, u.sqRob[t]%RobSize) > bAge {
+			u.sqValid[t] = 0
+			u.sqTail = t
+			u.sqCount--
 		} else {
 			break
 		}
 	}
 	// in-flight load
-	if r.ldValid.Get(st) == 1 && c.age(head, r.ldRob.Get(st)%RobSize) > bAge {
-		r.ldValid.Set(st, 0)
+	if u.ldValid == 1 && c.age(head, u.ldRob%RobSize) > bAge {
+		u.ldValid = 0
 	}
 	// multiplier pipeline
 	for i := 0; i < 4; i++ {
-		if r.muV[i].Get(st) == 1 && c.age(head, r.muRob[i].Get(st)%RobSize) > bAge {
-			r.muV[i].Set(st, 0)
+		if u.muV[i] == 1 && c.age(head, u.muRob[i]%RobSize) > bAge {
+			u.muV[i] = 0
 		}
 	}
 	// rebuild the rename table from the surviving window
 	for a := 0; a < 32; a++ {
-		r.rat[a].Set(st, 0)
+		u.rat[a] = 0
 	}
 	for a := uint64(0); a <= bAge; a++ {
 		idx := (head + a) % RobSize
-		wd := c.dec(uint32(r.robPC[idx].Get(st)), uint32(r.robInst[idx].Get(st)))
+		wd := c.dec(uint32(u.robPC[idx]), uint32(u.robInst[idx]))
 		if wd.Valid && wd.WritesReg && wd.In.Rd != 0 {
-			r.rat[wd.In.Rd].Set(st, 0x40|idx)
+			u.rat[wd.In.Rd] = 0x40 | idx
 		}
 	}
 	// flush the fetch buffer and redirect
-	r.fbHead.Set(st, 0)
-	r.fbTail.Set(st, 0)
-	r.fbCount.Set(st, 0)
+	u.fbHead = 0
+	u.fbTail = 0
+	u.fbCount = 0
 	var next uint32
 	if taken {
 		next = target
 	} else {
 		next = pc + 1
 	}
-	r.pc.Set(st, uint64(next))
+	u.pc = uint64(next)
 }
 
-// dispatchT is the threaded twin of dispatch.
-func (c *Core) dispatchT() {
-	st := c.st
-	r := &c.r
+// dispatchU is the compiled twin of dispatch.
+func (c *Core) dispatchU() {
+	u := &c.u
 	for n := 0; n < FetchWidth; n++ {
-		if r.fbCount.Get(st) == 0 {
+		if u.fbCount == 0 {
 			return
 		}
-		if r.robCount.Get(st) >= RobSize {
+		if u.robCount >= RobSize {
 			return
 		}
-		fh := r.fbHead.Get(st) % FBSize
-		word := uint32(r.fbInst[fh].Get(st))
-		pcv := r.fbPC[fh].Get(st)
+		fh := u.fbHead % FBSize
+		word := uint32(u.fbInst[fh])
+		pcv := u.fbPC[fh]
 		d := c.dec(uint32(pcv), word)
 
 		needIQ := d.Valid && d.In.Op != isa.NOP && d.In.Op != isa.HALT && d.In.Op != isa.TRAPD
 		if needIQ {
-			if c.freeIQ() < 0 {
+			if c.freeIQU() < 0 {
 				return
 			}
-			if d.In.Op == isa.SW && r.sqCount.Get(st) >= SQSize {
+			if d.In.Op == isa.SW && u.sqCount >= SQSize {
 				return
 			}
 		}
 
 		// allocate ROB entry
-		tail := r.robTail.Get(st) % RobSize
-		r.robInst[tail].Set(st, uint64(word))
-		r.robPC[tail].Set(st, pcv)
-		r.robVal[tail].Set(st, 0)
+		tail := u.robTail % RobSize
+		u.robInst[tail] = uint64(word)
+		u.robPC[tail] = pcv
+		u.robVal[tail] = 0
 		var flags uint64
 		if d.In.Op == isa.SW {
 			flags |= 1
 		}
 		if d.IsControl {
 			flags |= 2
-			if r.fbPred[fh].Get(st) == 1 {
+			if u.fbPred[fh] == 1 {
 				flags |= 4
 			}
-			r.robPTgt[tail].Set(st, r.fbPTgt[fh].Get(st))
+			u.robPTgt[tail] = u.fbPTgt[fh]
 		}
-		r.robFlags[tail].Set(st, flags)
+		u.robFlags[tail] = flags
 
 		if !d.Valid {
-			r.robExc[tail].Set(st, 1)
-			r.robDone[tail].Set(st, 1)
+			u.robExc[tail] = 1
+			u.robDone[tail] = 1
 		} else if !needIQ {
-			r.robExc[tail].Set(st, 0)
-			r.robDone[tail].Set(st, 1)
+			u.robExc[tail] = 0
+			u.robDone[tail] = 1
 		} else {
-			r.robExc[tail].Set(st, 0)
-			r.robDone[tail].Set(st, 0)
-			iq := c.freeIQ()
-			r.iqValid[iq].Set(st, 1)
-			r.iqInst[iq].Set(st, uint64(word))
-			r.iqRob[iq].Set(st, tail)
-			c.renameSourceT(iq, 0, d)
-			c.renameSourceT(iq, 1, d)
+			u.robExc[tail] = 0
+			u.robDone[tail] = 0
+			iq := c.freeIQU()
+			u.iqValid[iq] = 1
+			u.iqInst[iq] = uint64(word)
+			u.iqRob[iq] = tail
+			c.renameSourceU(iq, 0, d)
+			c.renameSourceU(iq, 1, d)
 			if d.In.Op == isa.SW {
 				// allocate a store-queue slot in program order
-				sqt := r.sqTail.Get(st) % SQSize
-				r.sqValid[sqt].Set(st, 1)
-				r.sqRob[sqt].Set(st, tail)
-				r.sqDone[sqt].Set(st, 0)
-				r.sqTail.Set(st, (sqt+1)%SQSize)
-				r.sqCount.Set(st, r.sqCount.Get(st)+1)
+				sqt := u.sqTail % SQSize
+				u.sqValid[sqt] = 1
+				u.sqRob[sqt] = tail
+				u.sqDone[sqt] = 0
+				u.sqTail = (sqt + 1) % SQSize
+				u.sqCount++
 			}
 		}
 
 		// rename destination
 		if d.Valid && d.WritesReg && d.In.Rd != 0 {
-			r.rat[d.In.Rd].Set(st, 0x40|tail)
+			u.rat[d.In.Rd] = 0x40 | tail
 		}
 
-		r.robTail.Set(st, (tail+1)%RobSize)
-		r.robCount.Set(st, r.robCount.Get(st)+1)
-		r.fbHead.Set(st, (fh+1)%FBSize)
-		r.fbCount.Set(st, r.fbCount.Get(st)-1)
+		u.robTail = (tail + 1) % RobSize
+		u.robCount++
+		u.fbHead = (fh + 1) % FBSize
+		u.fbCount--
 	}
 }
 
-// renameSourceT is the threaded twin of renameSource.
-func (c *Core) renameSourceT(iq, k int, d *tcode.DInst) {
-	st := c.st
-	r := &c.r
-	tagF, rdyF, valF := r.iqS1Tag[iq], r.iqS1Rdy[iq], r.iqS1Val[iq]
-	if k == 1 {
-		tagF, rdyF, valF = r.iqS2Tag[iq], r.iqS2Rdy[iq], r.iqS2Val[iq]
-	}
+// renameSourceU is the compiled twin of renameSource.
+func (c *Core) renameSourceU(iq, k int, d *tcode.DInst) {
+	u := &c.u
 	var reg uint8
 	var used bool
 	if k == 0 {
@@ -403,40 +566,68 @@ func (c *Core) renameSourceT(iq, k int, d *tcode.DInst) {
 	} else {
 		reg, used = d.In.Rs2, d.NeedsRs2
 	}
-	if !used || reg == 0 {
-		rdyF.Set(st, 1)
-		valF.Set(st, uint64(c.arf[reg&31]))
-		if reg == 0 {
-			valF.Set(st, 0)
+	var tagV, rdyV, valV uint64
+	setSlot := func() {
+		if k == 0 {
+			u.iqS1Tag[iq], u.iqS1Rdy[iq], u.iqS1Val[iq] = tagV, rdyV, valV
+		} else {
+			u.iqS2Tag[iq], u.iqS2Rdy[iq], u.iqS2Val[iq] = tagV, rdyV, valV
 		}
+	}
+	// the interpreter leaves the tag slot untouched on the ready paths;
+	// preserve the stale tag bits so the packed layouts stay identical
+	if k == 0 {
+		tagV = u.iqS1Tag[iq]
+	} else {
+		tagV = u.iqS2Tag[iq]
+	}
+	if !used || reg == 0 {
+		rdyV = 1
+		valV = uint64(c.arf[reg&31])
+		if reg == 0 {
+			valV = 0
+		}
+		setSlot()
 		return
 	}
-	m := r.rat[reg].Get(st)
+	m := u.rat[reg]
 	if m&0x40 == 0 {
-		valF.Set(st, uint64(c.arf[reg]))
-		rdyF.Set(st, 1)
+		valV = uint64(c.arf[reg])
+		rdyV = 1
+		setSlot()
 		return
 	}
 	t := m & 0x3F % RobSize
-	if r.robDone[t].Get(st) == 1 && r.robExc[t].Get(st) == 0 {
-		valF.Set(st, r.robVal[t].Get(st))
-		rdyF.Set(st, 1)
+	if u.robDone[t] == 1 && u.robExc[t] == 0 {
+		valV = u.robVal[t]
+		rdyV = 1
+		setSlot()
 		return
 	}
-	tagF.Set(st, t)
-	rdyF.Set(st, 0)
-	valF.Set(st, 0)
+	tagV = t
+	rdyV = 0
+	valV = 0
+	setSlot()
 }
 
-// fetchT is the threaded twin of fetch.
-func (c *Core) fetchT() {
-	st := c.st
-	r := &c.r
+// freeIQU is the compiled twin of freeIQ.
+func (c *Core) freeIQU() int {
+	for i := 0; i < IQSize; i++ {
+		if c.u.iqValid[i] == 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// fetchU is the compiled twin of fetch.
+func (c *Core) fetchU() {
+	u := &c.u
 	for n := 0; n < FetchWidth; n++ {
-		if r.fbCount.Get(st) >= FBSize {
+		if u.fbCount >= FBSize {
 			return
 		}
-		pc := uint32(r.pc.Get(st))
+		pc := uint32(u.pc)
 		var word uint32 = illegalWord
 		if int(pc) < len(c.program.Words) {
 			word = c.program.Words[pc]
@@ -446,24 +637,24 @@ func (c *Core) fetchT() {
 		var predTgt uint32
 		bi := pc % btbSize
 		if c.btbValid[bi] && c.btbTag[bi] == pc {
-			h := (uint64(pc) ^ r.lhist.Get(st)) % gshareSize
+			h := (uint64(pc) ^ u.lhist) % gshareSize
 			d := c.dec(pc, word)
 			if d.IsJump || c.gshare[h] >= 2 {
 				predTaken = true
 				predTgt = c.btbTgt[bi]
 			}
 		}
-		ft := r.fbTail.Get(st) % FBSize
-		r.fbInst[ft].Set(st, uint64(word))
-		r.fbPC[ft].Set(st, uint64(pc))
-		r.fbPred[ft].Set(st, b2u(predTaken))
-		r.fbPTgt[ft].Set(st, uint64(predTgt))
-		r.fbTail.Set(st, (ft+1)%FBSize)
-		r.fbCount.Set(st, r.fbCount.Get(st)+1)
+		ft := u.fbTail % FBSize
+		u.fbInst[ft] = uint64(word)
+		u.fbPC[ft] = uint64(pc)
+		u.fbPred[ft] = b2u(predTaken)
+		u.fbPTgt[ft] = uint64(predTgt)
+		u.fbTail = (ft + 1) % FBSize
+		u.fbCount++
 		if predTaken {
-			r.pc.Set(st, uint64(predTgt))
+			u.pc = uint64(predTgt)
 			return // redirected: stop fetching this cycle
 		}
-		r.pc.Set(st, uint64(pc+1))
+		u.pc = uint64(pc + 1)
 	}
 }
