@@ -67,6 +67,8 @@ func main() {
 	maxCombos := flag.Int("max-combos", 0, "evaluate only the first N combinations (0 = all; smoke tests)")
 	techniques := flag.String("techniques", "",
 		"comma-separated technique filter: names include (e.g. LEAP-DICE,Parity), -name excludes (e.g. -EDS); empty = all")
+	faultModel := flag.String("fault-model", inject.DefaultModel,
+		"fault model for every campaign: "+strings.Join(inject.ModelNames(), ", "))
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve /metrics, /debug/vars and /debug/pprof on this address while the sweep runs (e.g. 127.0.0.1:9090; empty = off)")
 	traceOut := flag.String("trace-out", "",
@@ -86,6 +88,10 @@ func main() {
 		log.Fatalf("unknown -core %q (accepted: InO, OoO)", *coreName)
 	}
 	e := core.NewEngine(kind)
+	if inject.LookupModel(*faultModel) == nil {
+		log.Fatalf("unknown -fault-model %q (accepted: %s)", *faultModel, strings.Join(inject.ModelNames(), ", "))
+	}
+	e.FaultModel = *faultModel
 	if *quick {
 		e.SamplesBase, e.SamplesTech = 1, 1
 	}
@@ -138,6 +144,9 @@ func main() {
 	} else if filter != nil {
 		sw.ApplyFilter(e, filter)
 		log.Printf("technique filter: %s (%d combinations)", filter.Spec(), len(sw.Combos))
+	}
+	if e.FaultModel != inject.DefaultModel {
+		log.Printf("fault model: %s (%d combinations remain effective)", e.FaultModel, len(sw.Combos))
 	}
 	if *maxCombos > 0 && *maxCombos < len(sw.Combos) {
 		sw.Combos = sw.Combos[:*maxCombos]

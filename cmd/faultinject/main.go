@@ -30,6 +30,8 @@ func main() {
 	benchName := flag.String("bench", "gzip", "benchmark name")
 	samples := flag.Int("samples", 4, "injections per flip-flop")
 	dfc := flag.Bool("dfc", false, "attach the DFC checker")
+	faultModel := flag.String("fault-model", inject.DefaultModel,
+		"fault model for the campaign: "+strings.Join(inject.ModelNames(), ", "))
 	monitor := flag.Bool("monitor", false, "attach the monitor core")
 	top := flag.Int("top", 10, "show the N most vulnerable structures")
 	ckptInterval := flag.Int("ckpt-interval", inject.CheckpointInterval,
@@ -59,6 +61,10 @@ func main() {
 		log.Fatalf("unknown benchmark %q (have: %v)", *benchName, bench.Names())
 	}
 	e := core.NewEngine(kind)
+	if inject.LookupModel(*faultModel) == nil {
+		log.Fatalf("unknown -fault-model %q (accepted: %s)", *faultModel, strings.Join(inject.ModelNames(), ", "))
+	}
+	e.FaultModel = *faultModel
 	e.SamplesBase = *samples
 	e.SamplesTech = *samples
 	if *metricsAddr != "" {
@@ -101,7 +107,7 @@ func main() {
 
 	tot := res.Totals
 	fmt.Printf("%s / %s / %s: %d injections over %d flip-flops, nominal %d cycles\n",
-		kind, b.Name, v.Tag(), tot.N, len(res.PerFF), res.NomCycles)
+		kind, b.Name, inject.ModelTag(e.FaultModel, v.Tag()), tot.N, len(res.PerFF), res.NomCycles)
 	show := func(name string, n int) {
 		if tot.N == 0 {
 			fmt.Printf("  %-9s %6d\n", name, n)

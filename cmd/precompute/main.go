@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"clear/internal/bench"
@@ -29,6 +30,8 @@ import (
 
 func main() {
 	only := flag.String("only", "", "restrict to a phase: base, ino, ooo, abft")
+	faultModel := flag.String("fault-model", inject.DefaultModel,
+		"fault model to warm the cache under: "+strings.Join(inject.ModelNames(), ", "))
 	ckptInterval := flag.Int("ckpt-interval", inject.CheckpointInterval,
 		"cycles between reference checkpoints (0 replays every injection from reset)")
 	retries := flag.Int("retries", 2, "retry budget for transiently failing campaigns")
@@ -48,8 +51,13 @@ func main() {
 	defer stop()
 	policy := resilient.Policy{MaxAttempts: 1 + *retries, BaseDelay: time.Second}
 
+	if inject.LookupModel(*faultModel) == nil {
+		log.Fatalf("unknown -fault-model %q (accepted: %s)", *faultModel, strings.Join(inject.ModelNames(), ", "))
+	}
 	inoE := core.NewEngine(inject.InO)
 	oooE := core.NewEngine(inject.OoO)
+	inoE.FaultModel = *faultModel
+	oooE.FaultModel = *faultModel
 
 	// Both engines instrument into one registry: the per-core name
 	// prefixes (core.ino.*, core.ooo.*) keep them apart.

@@ -74,6 +74,13 @@ type Engine struct {
 	SamplesTech int
 	Seed        uint64
 
+	// FaultModel selects the registered fault model campaigns run under
+	// (inject.ModelNames). Empty or "ssb" is the paper's single-bit upset
+	// model and keeps every campaign tag, cache file, and sweep identity in
+	// its legacy unprefixed form; any other model is folded into the
+	// campaign tag as a "<model>/" prefix (inject.ModelTag).
+	FaultModel string
+
 	// Finished-result memo maps (guarded by mu) paired with singleflight
 	// groups: concurrent callers asking for the same uncomputed campaign,
 	// program, or overhead join one in-flight computation instead of
@@ -340,7 +347,7 @@ func (v Variant) hookFactory() func(*prog.Program) sim.CommitHook {
 // variant. Concurrent callers asking for the same (benchmark, variant) are
 // deduplicated: the campaign is computed exactly once and shared.
 func (e *Engine) Campaign(b *bench.Benchmark, v Variant) (*inject.Result, error) {
-	key := b.Name + "|" + v.Tag()
+	key := b.Name + "|" + inject.ModelTag(e.FaultModel, v.Tag())
 	e.mu.Lock()
 	if r, ok := e.campaigns[key]; ok {
 		e.mu.Unlock()
@@ -367,7 +374,7 @@ func (e *Engine) Campaign(b *bench.Benchmark, v Variant) (*inject.Result, error)
 		cfg := inject.Config{
 			Core:         e.Kind,
 			Bench:        b.Name,
-			Tag:          tag,
+			Tag:          inject.ModelTag(e.FaultModel, tag),
 			SamplesPerFF: samples,
 			Seed:         e.Seed,
 		}

@@ -139,6 +139,35 @@ func EnumerateWith(kind inject.CoreKind, f *technique.Filter) []Combo {
 	return combos
 }
 
+// EnumerateForModel enumerates the combinations a filter admits that
+// remain meaningful under a fault model: a combination is dropped when any
+// of its active techniques is declared ineffective against the model
+// (technique.ModelCompat) — e.g. under "set", LEAP-DICE and parity latch
+// the transient like an unprotected flip-flop, so the surviving design
+// space is the Razor-like EDS plus the architecture/software/algorithm
+// techniques (the Azambuja-style software-only detection study). The ssb
+// default (or empty model) filters nothing.
+func EnumerateForModel(kind inject.CoreKind, f *technique.Filter, model string) []Combo {
+	all := EnumerateWith(kind, f)
+	if model == "" || model == inject.DefaultModel {
+		return all
+	}
+	out := all[:0]
+	for _, c := range all {
+		ok := true
+		for _, t := range c.ActiveTechniques() {
+			if !technique.AppliesToModel(t, model) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
 // EnumerationCounts reproduces the Table 18 row counts for a core.
 type EnumerationCounts struct {
 	NoRec, QuickRec, Replay int

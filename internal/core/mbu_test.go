@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"clear/internal/bench"
+	"clear/internal/inject"
+	"clear/internal/parity"
+	"clear/internal/technique"
+)
+
+// TestMBUInterleavedParityGap is the fault-model layer's acceptance
+// demonstration: under the mbu model a parity tree over contiguous
+// placement-adjacent groups swallows even-sized cluster overlaps, while
+// interleaved groups (parity.Interleave) see every cluster — so the
+// interleaved grouping must detect strictly more clusters and pass
+// through strictly less SDC on a measured InO campaign.
+func TestMBUInterleavedParityGap(t *testing.T) {
+	e := testEngine(t)
+	e.FaultModel = "mbu"
+	b := bench.ByName("inner_product")
+	e.SamplesBase = 2
+
+	res, err := e.Base(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTag := inject.ModelTag("mbu", "base")
+	if res.Config.Tag != wantTag {
+		t.Fatalf("mbu campaign ran under tag %q, want %q", res.Config.Tag, wantTag)
+	}
+	if res.Totals.N == 0 {
+		t.Fatal("mbu campaign ran no injections")
+	}
+
+	env := inject.EnvFor(inject.InO)
+	allBits := make([]int, len(res.PerFF))
+	for i := range allBits {
+		allBits[i] = i
+	}
+	const groupSize = 8
+	contiguous := parity.Group(parity.GroupSizeH, groupSize, e.Space, e.Pl, nil, allBits)
+	interleaved := parity.Interleave(allBits, groupSize)
+
+	evC := EvalMBUGrouping(env, contiguous, res)
+	evI := EvalMBUGrouping(env, interleaved, res)
+	t.Logf("contiguous:  coverage %.3f residual SDC %.1f of %.1f",
+		evC.Coverage(), evC.ResidualSDC, evC.BaseSDC)
+	t.Logf("interleaved: coverage %.3f residual SDC %.1f of %.1f",
+		evI.Coverage(), evI.ResidualSDC, evI.BaseSDC)
+
+	if evC.BaseSDC == 0 {
+		t.Fatal("mbu campaign produced no SDC mass to defend")
+	}
+	if evI.Detected <= evC.Detected {
+		t.Fatalf("interleaving detected %d clusters, contiguous %d — no coverage gap",
+			evI.Detected, evC.Detected)
+	}
+	if evI.ResidualSDC >= evC.ResidualSDC {
+		t.Fatalf("interleaved residual SDC %.1f is not below contiguous %.1f",
+			evI.ResidualSDC, evC.ResidualSDC)
+	}
+}
+
+// TestEvalMBUGroupingOddOverlap pins the detection rule on a synthetic
+// grid: a group sees a cluster iff it holds an odd number of its bits.
+func TestEvalMBUGroupingOddOverlap(t *testing.T) {
+	// Grouping {0,1}, {2,3}: cluster {0,1} is a hidden even overlap,
+	// cluster {0,1,2} is caught by the second group's single bit.
+	g := parity.Grouping{Groups: [][]int{{0, 1}, {2, 3}}, Pipelined: []bool{false, false}}
+	idx := groupOf(4, g)
+	if clusterDetected(idx, []int{0, 1}) {
+		t.Fatal("even overlap inside one group must be invisible to parity")
+	}
+	if !clusterDetected(idx, []int{0, 1, 2}) {
+		t.Fatal("odd overlap in any group must be detected")
+	}
+	if !clusterDetected(idx, []int{3}) {
+		t.Fatal("single flip must be detected")
+	}
+	if clusterDetected(idx, []int{0, 1, 2, 3}) {
+		t.Fatal("even overlap in every group must be invisible")
+	}
+}
+
+// TestInterleaveGrouping checks the grouping helper's shape: every bit
+// exactly once, groups within one of the nominal size, adjacent indices
+// never sharing a group (for spaces larger than one group).
+func TestInterleaveGrouping(t *testing.T) {
+	bits := make([]int, 37)
+	for i := range bits {
+		bits[i] = i
+	}
+	g := parity.Interleave(bits, 8)
+	idx := map[int]int{}
+	for gi, grp := range g.Groups {
+		if len(grp) > 8+1 || len(grp) == 0 {
+			t.Fatalf("group %d has %d members", gi, len(grp))
+		}
+		for _, b := range grp {
+			if _, dup := idx[b]; dup {
+				t.Fatalf("bit %d grouped twice", b)
+			}
+			idx[b] = gi
+		}
+	}
+	if len(idx) != len(bits) {
+		t.Fatalf("grouping covers %d of %d bits", len(idx), len(bits))
+	}
+	for i := 0; i+1 < len(bits); i++ {
+		if idx[i] == idx[i+1] {
+			t.Fatalf("adjacent bits %d,%d share group %d", i, i+1, idx[i])
+		}
+	}
+}
+
+// TestEnumerateForModel checks the per-model design-space restriction: the
+// ssb default keeps the full Table 18 enumeration, while "set" drops every
+// combination carrying a technique that latches transients (LEAP-DICE,
+// parity) and keeps the Razor-like EDS ones.
+func TestEnumerateForModel(t *testing.T) {
+	full := Enumerate(inject.InO)
+	if got := EnumerateForModel(inject.InO, nil, "ssb"); len(got) != len(full) {
+		t.Fatalf("ssb enumeration %d combos, want the full %d", len(got), len(full))
+	}
+	set := EnumerateForModel(inject.InO, nil, "set")
+	if len(set) == 0 || len(set) >= len(full) {
+		t.Fatalf("set enumeration has %d combos of %d — expected a strict non-empty subset",
+			len(set), len(full))
+	}
+	eds := 0
+	for _, c := range set {
+		for _, tech := range c.ActiveTechniques() {
+			switch tech.Name() {
+			case technique.NameLEAPDICE, technique.NameParity:
+				t.Fatalf("set enumeration contains %s in %q", tech.Name(), c.Name())
+			case technique.NameEDS:
+				eds++
+			}
+		}
+	}
+	if eds == 0 {
+		t.Fatal("set enumeration lost EDS — Razor-like detection should survive")
+	}
+	// mbu keeps the full space: every technique still observes mbu flips.
+	if got := EnumerateForModel(inject.InO, nil, "mbu"); len(got) != len(full) {
+		t.Fatalf("mbu enumeration %d combos, want %d", len(got), len(full))
+	}
+}
+
+// TestTechniqueModelCompat pins the registry's per-model applicability
+// declarations behind EnumerateForModel.
+func TestTechniqueModelCompat(t *testing.T) {
+	byName := map[string]technique.Technique{}
+	for _, tech := range technique.Default().Techniques() {
+		byName[tech.Name()] = tech
+	}
+	cases := []struct {
+		name, model string
+		want        bool
+	}{
+		{technique.NameLEAPDICE, "set", false},
+		{technique.NameParity, "set", false},
+		{technique.NameEDS, "set", true},
+		{technique.NameLEAPDICE, "mbu", true},
+		{technique.NameParity, "uncore", true},
+		{technique.NameEDDI, "set", true},
+		{technique.NameLEAPDICE, "ssb", true},
+		{technique.NameLEAPDICE, "", true},
+	}
+	for _, tc := range cases {
+		if got := technique.AppliesToModel(byName[tc.name], tc.model); got != tc.want {
+			t.Errorf("AppliesToModel(%s, %q) = %v, want %v", tc.name, tc.model, got, tc.want)
+		}
+	}
+}

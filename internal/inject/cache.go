@@ -9,6 +9,7 @@ import (
 	"hash/fnv"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -72,7 +73,11 @@ func cacheKey(cfg Config, p *prog.Program) string {
 		b[0], b[1], b[2], b[3] = byte(w), byte(w>>8), byte(w>>16), byte(w>>24)
 		h.Write(b[:])
 	}
-	return fmt.Sprintf("%s-%s-%s-%016x.gob", cfg.Core, cfg.Bench, nonEmpty(cfg.Tag), h.Sum64())
+	// The fault model rides inside Tag ("mbu/base"), so it is already part
+	// of both the hash and the filename; only the path separator needs
+	// flattening. Unprefixed (ssb) tags keep their exact legacy filenames.
+	tag := strings.ReplaceAll(nonEmpty(cfg.Tag), "/", "_")
+	return fmt.Sprintf("%s-%s-%s-%016x.gob", cfg.Core, cfg.Bench, tag, h.Sum64())
 }
 
 func nonEmpty(s string) string {
@@ -82,46 +87,89 @@ func nonEmpty(s string) string {
 	return s
 }
 
-// cacheMagic marks the 8-byte integrity trailer appended to every cache
-// entry: the 4 magic bytes followed by the little-endian CRC32-C of the gob
-// payload. Entries written before the trailer existed lack it and fall back
-// to a plain decode.
+// cacheMagic marks the 8-byte integrity trailer appended to every ssb
+// cache entry: the 4 magic bytes followed by the little-endian CRC32-C of
+// the gob payload. Entries written before the trailer existed lack it and
+// fall back to a plain decode.
 var cacheMagic = [4]byte{'C', 'L', 'R', 'C'}
+
+// cacheModelMagic marks the model-carrying trailer of non-ssb entries:
+// [gob payload][model bytes][1-byte model length]['C','L','R','M'][CRC32-C
+// of everything preceding]. Recording the model in the trailer — not just
+// the Tag inside the gob — means a file whose header disagrees with its
+// payload (a hand-renamed or cross-model-copied entry) is rejected before
+// its campaign numbers can leak into the wrong model's sweep. ssb entries
+// keep the legacy CLRC format byte-for-byte, and legacy trailerless or
+// CLRC files always decode as model "ssb".
+var cacheModelMagic = [4]byte{'C', 'L', 'R', 'M'}
 
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 
-// encodeCache serializes a campaign result and appends the CRC trailer.
+// encodeCache serializes a campaign result and appends the integrity
+// trailer: CLRC for ssb results (the legacy byte-identical format), CLRM
+// with the embedded model name for every other fault model.
 func encodeCache(r *Result) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(r); err != nil {
 		return nil, err
 	}
-	sum := crc32.Checksum(buf.Bytes(), castagnoli)
-	buf.Write(cacheMagic[:])
+	model, _ := SplitModelTag(r.Config.Tag)
+	var sum uint32
+	if model != DefaultModel {
+		if len(model) > 255 {
+			return nil, fmt.Errorf("inject: fault-model name %q too long for cache trailer", model)
+		}
+		buf.WriteString(model)
+		buf.WriteByte(byte(len(model)))
+		buf.Write(cacheModelMagic[:])
+		// CLRM checksums payload + model + length + magic.
+		sum = crc32.Checksum(buf.Bytes(), castagnoli)
+	} else {
+		// The legacy CLRC trailer checksums only the gob payload (magic
+		// excluded) — frozen, so existing ssb entries stay byte-identical.
+		sum = crc32.Checksum(buf.Bytes(), castagnoli)
+		buf.Write(cacheMagic[:])
+	}
 	var tr [4]byte
 	binary.LittleEndian.PutUint32(tr[:], sum)
 	buf.Write(tr[:])
 	return buf.Bytes(), nil
 }
 
-// decodeCache deserializes a cache entry body. When the integrity trailer
-// is present the payload CRC is verified before gob sees a single byte;
+// decodeCache deserializes a cache entry body, returning the result and
+// the fault model the entry was recorded under. When an integrity trailer
+// is present the CRC is verified before gob sees a single byte;
 // trailerless (legacy) entries decode directly, where gob's own framing is
-// the only truncation defense.
-func decodeCache(data []byte) (*Result, error) {
+// the only truncation defense. Legacy trailerless and CLRC entries are
+// model "ssb" by definition.
+func decodeCache(data []byte) (*Result, string, error) {
 	payload := data
-	if n := len(data); n >= 8 && bytes.Equal(data[n-8:n-4], cacheMagic[:]) {
+	model := DefaultModel
+	n := len(data)
+	switch {
+	case n >= 8 && bytes.Equal(data[n-8:n-4], cacheMagic[:]):
 		want := binary.LittleEndian.Uint32(data[n-4:])
 		payload = data[:n-8]
 		if got := crc32.Checksum(payload, castagnoli); got != want {
-			return nil, fmt.Errorf("inject: cache CRC mismatch (%08x != %08x)", got, want)
+			return nil, "", fmt.Errorf("inject: cache CRC mismatch (%08x != %08x)", got, want)
 		}
+	case n >= 9 && bytes.Equal(data[n-8:n-4], cacheModelMagic[:]):
+		want := binary.LittleEndian.Uint32(data[n-4:])
+		if got := crc32.Checksum(data[:n-4], castagnoli); got != want {
+			return nil, "", fmt.Errorf("inject: cache CRC mismatch (%08x != %08x)", got, want)
+		}
+		mlen := int(data[n-9])
+		if n < 9+mlen {
+			return nil, "", fmt.Errorf("inject: cache model trailer truncated")
+		}
+		model = string(data[n-9-mlen : n-9])
+		payload = data[:n-9-mlen]
 	}
 	var r Result
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&r); err != nil {
-		return nil, fmt.Errorf("inject: cache decode: %w", err)
+		return nil, "", fmt.Errorf("inject: cache decode: %w", err)
 	}
-	return &r, nil
+	return &r, model, nil
 }
 
 // quarantine renames a corrupt cache entry to path+".corrupt" so the
@@ -152,10 +200,11 @@ func Campaign(cfg Config, p *prog.Program, hookFactory func(*prog.Program) sim.C
 // Campaign is the scoped form of the package-level Campaign.
 func (in *Injector) Campaign(cfg Config, p *prog.Program, hookFactory func(*prog.Program) sim.CommitHook) (*Result, error) {
 	start := time.Now()
+	wantModel, _ := SplitModelTag(cfg.Tag)
 	path := filepath.Join(CacheDir(), cacheKey(cfg, p))
 	if data, err := os.ReadFile(path); err == nil {
-		r, derr := decodeCache(data)
-		if derr == nil && r.Config == cfg && r.NomCycles > 0 &&
+		r, gotModel, derr := decodeCache(data)
+		if derr == nil && r.Config == cfg && gotModel == wantModel && r.NomCycles > 0 &&
 			len(r.PerFF) == SpaceBits(cfg.Core) {
 			in.cacheHits.Add(1)
 			in.traceCampaign(cfg, r, "cache", time.Since(start))

@@ -82,7 +82,7 @@ func TestCampaignDetectsBitrotViaCRC(t *testing.T) {
 	if err := os.WriteFile(files[0], data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := decodeCache(data); err == nil {
+	if _, _, err := decodeCache(data); err == nil {
 		t.Fatal("decodeCache accepted a bit-rotted payload under the CRC trailer")
 	}
 	r2, err := Campaign(cfg, p, nil)
@@ -112,12 +112,15 @@ func TestDecodeCacheLegacyTrailerless(t *testing.T) {
 		t.Fatal(err)
 	}
 	legacy := data[:len(data)-8] // strip magic + CRC: the legacy format
-	got, err := decodeCache(legacy)
+	got, gotModel, err := decodeCache(legacy)
 	if err != nil {
 		t.Fatalf("legacy trailerless entry rejected: %v", err)
 	}
 	if got.Totals != r.Totals || got.Config != cfg {
 		t.Fatalf("legacy decode mismatch: %+v", got.Totals)
+	}
+	if gotModel != DefaultModel {
+		t.Fatalf("legacy trailerless entry decoded as model %q, want %q", gotModel, DefaultModel)
 	}
 }
 
@@ -144,7 +147,7 @@ func FuzzCacheDecode(f *testing.F) {
 		if len(data) > 1<<20 {
 			t.Skip("cap adversarial allocation")
 		}
-		r, err := decodeCache(data)
+		r, _, err := decodeCache(data)
 		if err == nil && r == nil {
 			t.Fatal("decodeCache returned (nil, nil)")
 		}

@@ -244,8 +244,11 @@ func splitmix64(x uint64) uint64 {
 const nomBudget = 8_000_000
 
 // Run executes a campaign: SamplesPerFF uniform-random cycles for every
-// flip-flop bit. The program may be a transformed (software-protected)
-// variant; hookFactory attaches an architecture-level checker.
+// flip-flop bit of the strike population. The program may be a transformed
+// (software-protected) variant; hookFactory attaches an architecture-level
+// checker. A "<model>/" prefix on cfg.Tag selects a registered fault model
+// (mbu, uncore, set — see model.go); the unprefixed form is the paper's
+// single-bit model and runs the exact legacy path.
 //
 // Hookless campaigns amortize simulation work through the fault-free
 // reference trajectory (see CheckpointInterval and RunOneFrom): each
@@ -271,6 +274,18 @@ func (in *Injector) Run(cfg Config, p *prog.Program, hookFactory func(*prog.Prog
 		return nil, fmt.Errorf("inject: SamplesPerFF %d outside the per-FF counter range [0, %d]",
 			cfg.SamplesPerFF, math.MaxUint16)
 	}
+	// Resolve the fault model from the tag's "<model>/" prefix (see
+	// model.go). The unprefixed legacy form is the ssb model and keeps the
+	// exact pre-model code path, so ssb campaigns stay byte-identical.
+	modelName, _ := SplitModelTag(cfg.Tag)
+	model := LookupModel(modelName)
+	ssb := modelName == DefaultModel
+	var env *ModelEnv
+	var strikes []int
+	if !ssb {
+		env = EnvFor(cfg.Core)
+		strikes = model.Bits(env)
+	}
 	var ref *Reference
 	var nomRes prog.Result
 	var nomRet int64
@@ -295,6 +310,13 @@ func (in *Injector) Run(cfg Config, p *prog.Program, hookFactory func(*prog.Prog
 	}
 	nomCycles := nomRes.Steps
 	nBits := SpaceBits(cfg.Core)
+	// The strike population: every flip-flop, unless the model restricts
+	// it (uncore). PerFF is always full-space sized and indexed by the
+	// struck bit, so per-structure reporting works across models.
+	nStrikes := nBits
+	if strikes != nil {
+		nStrikes = len(strikes)
+	}
 
 	res := &Result{
 		Config:    cfg,
@@ -320,11 +342,22 @@ func (in *Injector) Run(cfg Config, p *prog.Program, hookFactory func(*prog.Prog
 			var totals Counts
 			var latSum, latN int64
 			for ch := range chunks {
-				for bit := ch.lo; bit < ch.hi; bit++ {
+				for i := ch.lo; i < ch.hi; i++ {
+					bit := i
+					if strikes != nil {
+						bit = strikes[i]
+					}
 					for s := 0; s < cfg.SamplesPerFF; s++ {
 						h := splitmix64(cfg.Seed ^ uint64(bit)<<20 ^ uint64(s))
 						cycle := int(h % uint64(nomCycles))
-						out, det := in.RunOneFrom(core, p, ref, bit, cycle, nomCycles, hookFactory)
+						var out Outcome
+						var det int
+						if ssb {
+							out, det = in.RunOneFrom(core, p, ref, bit, cycle, nomCycles, hookFactory)
+						} else {
+							sc := model.Expand(env, bit, cycle, h)
+							out, det = in.RunScenarioFrom(core, p, ref, sc, cycle, nomCycles, hookFactory)
+						}
 						if out == ED && det >= cycle {
 							latSum += int64(det - cycle)
 							latN++
@@ -360,10 +393,10 @@ func (in *Injector) Run(cfg Config, p *prog.Program, hookFactory func(*prog.Prog
 		}()
 	}
 	const step = 64
-	for lo := 0; lo < nBits; lo += step {
+	for lo := 0; lo < nStrikes; lo += step {
 		hi := lo + step
-		if hi > nBits {
-			hi = nBits
+		if hi > nStrikes {
+			hi = nStrikes
 		}
 		chunks <- chunk{lo, hi}
 	}
@@ -376,13 +409,15 @@ func (in *Injector) Run(cfg Config, p *prog.Program, hookFactory func(*prog.Prog
 // RunPair performs a single-event multiple-upset (SEMU) injection: two
 // flip-flops struck by one particle flip in the same cycle. The paper's
 // layout constraint (Tables 5/6) exists precisely because an even number
-// of flips inside one parity group is invisible to an XOR tree.
+// of flips inside one parity group is invisible to an XOR tree. The
+// returned detect cycle is the cycle a detection fired at (-1 unless the
+// outcome is ED).
 //
 // The injection and its outcome are tallied on the default injection scope;
 // use the Injector method (or RunPairFrom / RunPairs, see pair.go) to
 // attribute SEMU work to a specific scope or to warm-start it from a
 // reference trajectory.
 func RunPair(c sim.Core, p *prog.Program, bitA, bitB, cycle, nomCycles int,
-	hookFactory func(*prog.Program) sim.CommitHook) Outcome {
+	hookFactory func(*prog.Program) sim.CommitHook) (Outcome, int) {
 	return std.RunPair(c, p, bitA, bitB, cycle, nomCycles, hookFactory)
 }

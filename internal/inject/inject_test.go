@@ -236,14 +236,14 @@ func TestRunPairSEMU(t *testing.T) {
 	c := NewCore(InO, p)
 	nom := NewCore(InO, p).Run(100000)
 	// deterministic
-	o1 := RunPair(c, p, 3, 40, 20, nom.Steps, nil)
-	o2 := RunPair(c, p, 3, 40, 20, nom.Steps, nil)
+	o1, _ := RunPair(c, p, 3, 40, 20, nom.Steps, nil)
+	o2, _ := RunPair(c, p, 3, 40, 20, nom.Steps, nil)
 	if o1 != o2 {
 		t.Fatalf("RunPair nondeterministic: %v vs %v", o1, o2)
 	}
 	// flipping the same bit twice in one strike is the identity: outcome
 	// must equal the fault-free classification
-	if out := RunPair(c, p, 7, 7, 10, nom.Steps, nil); out != Vanished {
+	if out, _ := RunPair(c, p, 7, 7, 10, nom.Steps, nil); out != Vanished {
 		t.Fatalf("double flip of one bit should vanish, got %v", out)
 	}
 }

@@ -1,0 +1,294 @@
+package inject
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"clear/internal/ino"
+	"clear/internal/layout"
+	"clear/internal/ooo"
+)
+
+// Pluggable fault models (ROADMAP item 4): a FaultModel deterministically
+// expands a sampled (flip-flop, cycle) point into a fault scenario — the
+// set of simultaneous or time-offset bit flips one physical event causes.
+// The sampling loop is model-independent (same splitmix64 stream, same
+// uniform cycle draw); only the expansion differs, so two models disagree
+// exactly where the physics says they should.
+//
+// Four models are registered:
+//
+//	ssb    — single-bit upset in core flip-flops: the paper's model and
+//	         the default. Campaigns run the exact pre-model code path and
+//	         are bit-identical (results, cache gobs) to it.
+//	mbu    — spatial multi-bit upset: one particle flips the struck
+//	         flip-flop and every neighbour within layout.SEMURadius of it
+//	         (the Table 5/6 cluster population). This is the k-flip
+//	         generalization of the RunPair SEMU machinery.
+//	uncore — single flips restricted to memory-interface state (load
+//	         unit, store queue, fetch buffer, cache interface registers),
+//	         after Cho et al., "Understanding Soft Errors in Uncore
+//	         Components".
+//	set    — single-event transient in the combinational cone feeding the
+//	         struck flip-flop: the wrong value is latched only when the
+//	         flip-flop's timing slack is below the sampled transient pulse
+//	         width (a long path has no margin to outwait the glitch);
+//	         otherwise the transient dies before the capture edge and the
+//	         scenario is empty (Vanished without simulation), after
+//	         Azambuja et al.'s SEU/SET software-detection study.
+//
+// The model is carried inside Config.Tag as a "<model>/" prefix (ssb is
+// the unprefixed legacy form), so the campaign cache, the sweep state
+// identity, and every existing Config-keyed surface distinguish models
+// without changing the gob schema — adding a Config field would alter the
+// type descriptor of every cached campaign and break ssb byte-identity.
+
+// Flip is one bit flip of a fault scenario: the flip-flop to flip and the
+// cycle offset (>= 0) from the scenario's injection cycle at which it
+// lands. Delay 0 flips are applied together at the injection point.
+type Flip struct {
+	Bit   int
+	Delay int
+}
+
+// Scenario is the ordered flip set one fault event expands to, sorted by
+// (Delay, Bit). An empty scenario is a strike that latches nothing: the
+// run is Vanished by construction and never simulated.
+type Scenario []Flip
+
+// FaultModel deterministically expands sampled (bit, cycle) points into
+// fault scenarios. Implementations must be pure: the same (env, bit,
+// cycle, h) must always yield the same scenario, because campaign results
+// — and the on-disk campaign cache keyed on Config — depend only on
+// (Config, program).
+type FaultModel interface {
+	// Name is the model's registry key ("ssb", "mbu", ...): lowercase,
+	// non-empty, free of the "/" tag separator.
+	Name() string
+	// Bits returns the strike population: the flip-flops the model samples
+	// (nil = every flip-flop of the core). The sampling loop draws
+	// SamplesPerFF cycles for each returned bit using the same per-bit
+	// hash stream as the ssb model.
+	Bits(env *ModelEnv) []int
+	// Expand turns one sampled strike into its flip scenario. h is the
+	// sample's splitmix64 draw (the same value that chose the cycle), the
+	// model's only entropy source.
+	Expand(env *ModelEnv, bit, cycle int, h uint64) Scenario
+}
+
+// ModelEnv is the per-core context models expand against: the flip-flop
+// space, the physical placement, and derived neighbour/unit indexes. Envs
+// are built once per core kind and shared read-only.
+type ModelEnv struct {
+	Kind CoreKind
+	Pl   *layout.Placement
+
+	neighbors  [][]int // per bit: bits within layout.SEMURadius, ascending
+	uncoreBits []int   // bits of the memory-interface units, ascending
+}
+
+// Cluster returns the SEMU cluster of a strike at bit: the bit itself plus
+// every flip-flop within layout.SEMURadius, in ascending bit order.
+func (env *ModelEnv) Cluster(bit int) []int {
+	if bit < 0 || bit >= len(env.neighbors) {
+		return nil
+	}
+	nbrs := env.neighbors[bit]
+	out := make([]int, 0, len(nbrs)+1)
+	pos := 0
+	for pos < len(nbrs) && nbrs[pos] < bit {
+		out = append(out, nbrs[pos])
+		pos++
+	}
+	out = append(out, bit)
+	out = append(out, nbrs[pos:]...)
+	return out
+}
+
+// UncoreBits returns the memory-interface strike population of the core.
+func (env *ModelEnv) UncoreBits() []int { return env.uncoreBits }
+
+// uncoreUnits lists the functional units that model the core's memory
+// interface, per core kind: the load/store path and the fetch-side buffer
+// state Cho et al. identify as the dominant uncore contributors. On the
+// in-order core that is the memory stage plus both cache interfaces; on
+// the out-of-order core the fetch buffer, store queue, and L1-D interface.
+var uncoreUnits = map[CoreKind]map[string]bool{
+	InO: {"memory": true, "icache": true, "dcache": true},
+	OoO: {"fetchbuf": true, "stq": true, "l1dcache": true},
+}
+
+var (
+	envOnce [2]sync.Once
+	envs    [2]*ModelEnv
+)
+
+// EnvFor returns the shared model environment of a core kind, building it
+// on first use (placement + neighbour lists, a few milliseconds).
+func EnvFor(k CoreKind) *ModelEnv {
+	i := 0
+	if k == OoO {
+		i = 1
+	}
+	envOnce[i].Do(func() {
+		env := &ModelEnv{Kind: k}
+		if k == InO {
+			env.Pl = layout.Place(ino.Space(), layout.InOProfile())
+		} else {
+			env.Pl = layout.Place(ooo.Space(), layout.OoOProfile())
+		}
+		env.neighbors = env.Pl.NeighborLists(layout.SEMURadius)
+		units := uncoreUnits[k]
+		for bit := 0; bit < env.Pl.Space.NumBits(); bit++ {
+			if units[env.Pl.Space.UnitOf(bit)] {
+				env.uncoreBits = append(env.uncoreBits, bit)
+			}
+		}
+		envs[i] = env
+	})
+	return envs[i]
+}
+
+// Model registry. Registration happens at init; lookups are read-only
+// afterwards, so the map needs no locking on the campaign path.
+var (
+	modelsMu sync.Mutex
+	models   = map[string]FaultModel{}
+)
+
+// RegisterModel adds a fault model to the registry. Names must be unique,
+// lowercase, and free of "/" (the tag separator); violations panic, as
+// misregistered models would silently corrupt cache keying.
+func RegisterModel(m FaultModel) {
+	name := m.Name()
+	if name == "" || strings.Contains(name, "/") || name != strings.ToLower(name) {
+		panic(fmt.Sprintf("inject: invalid fault-model name %q", name))
+	}
+	modelsMu.Lock()
+	defer modelsMu.Unlock()
+	if _, dup := models[name]; dup {
+		panic(fmt.Sprintf("inject: fault model %q registered twice", name))
+	}
+	models[name] = m
+}
+
+// LookupModel returns a registered fault model, or nil.
+func LookupModel(name string) FaultModel {
+	modelsMu.Lock()
+	defer modelsMu.Unlock()
+	return models[name]
+}
+
+// ModelNames returns the registered fault-model names, sorted.
+func ModelNames() []string {
+	modelsMu.Lock()
+	defer modelsMu.Unlock()
+	out := make([]string, 0, len(models))
+	for n := range models {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefaultModel is the fault model campaigns run under when their tag
+// carries no model prefix: the paper's single-bit upset model.
+const DefaultModel = "ssb"
+
+// ModelTag folds a fault model into a campaign tag: the ssb default keeps
+// the tag untouched (legacy form — cache filenames, gobs, and sweep state
+// stay bit-identical), any other model prefixes "<model>/".
+func ModelTag(model, tag string) string {
+	if model == "" || model == DefaultModel {
+		return tag
+	}
+	return model + "/" + tag
+}
+
+// SplitModelTag recovers (model, baseTag) from a campaign tag: a prefix
+// before the first "/" naming a registered non-ssb model is the model;
+// anything else — no separator, or a prefix that is not a registered
+// model — is the legacy single-bit form.
+func SplitModelTag(tag string) (model, baseTag string) {
+	if prefix, rest, ok := strings.Cut(tag, "/"); ok && prefix != DefaultModel {
+		if LookupModel(prefix) != nil {
+			return prefix, rest
+		}
+	}
+	return DefaultModel, tag
+}
+
+// --- registered models ---
+
+// ssbModel is the paper's single-bit upset model. Campaigns tagged with it
+// never reach Expand: the campaign loop dispatches unprefixed tags to the
+// exact legacy RunOneFrom path, keeping ssb results byte-identical. Expand
+// is still implemented (one flip, no delay) so generic scenario tooling —
+// the determinism fuzz target, external drivers — treats ssb uniformly.
+type ssbModel struct{}
+
+func (ssbModel) Name() string         { return "ssb" }
+func (ssbModel) Bits(*ModelEnv) []int { return nil }
+func (ssbModel) Expand(_ *ModelEnv, bit, _ int, _ uint64) Scenario {
+	return Scenario{{Bit: bit}}
+}
+
+// mbuModel is the spatial multi-bit upset model: the strike flips the
+// sampled flip-flop and every neighbour within layout.SEMURadius, all in
+// the injection cycle — the k-flip generalization of the RunPair SEMU
+// studies, over the Table 5/6 cluster population the placement produces.
+type mbuModel struct{}
+
+func (mbuModel) Name() string         { return "mbu" }
+func (mbuModel) Bits(*ModelEnv) []int { return nil }
+func (mbuModel) Expand(env *ModelEnv, bit, _ int, _ uint64) Scenario {
+	cluster := env.Cluster(bit)
+	sc := make(Scenario, len(cluster))
+	for i, b := range cluster {
+		sc[i] = Flip{Bit: b}
+	}
+	return sc
+}
+
+// uncoreModel restricts single-bit strikes to the memory-interface state
+// (Cho et al.): the load/store path and fetch-side buffers. Expansion is
+// the ssb single flip; the population is what changes.
+type uncoreModel struct{}
+
+func (uncoreModel) Name() string             { return "uncore" }
+func (uncoreModel) Bits(env *ModelEnv) []int { return env.UncoreBits() }
+func (uncoreModel) Expand(_ *ModelEnv, bit, _ int, _ uint64) Scenario {
+	return Scenario{{Bit: bit}}
+}
+
+// SETMaxPulse is the widest transient pulse the set model samples, in gate
+// delays. Pulse widths draw uniformly from [1, SETMaxPulse].
+const SETMaxPulse = 12
+
+// setModel is the single-event transient model: a glitch in the
+// combinational cone feeding the sampled flip-flop. The wrong value is
+// captured only when the flip-flop's timing slack is below the sampled
+// pulse width — a path with more slack than the pulse absorbs it before
+// the capture edge, and the scenario is empty (Vanished, never
+// simulated). The pulse width draws from the upper half of the sample's
+// hash so it is independent of the cycle draw's low bits.
+type setModel struct{}
+
+func (setModel) Name() string         { return "set" }
+func (setModel) Bits(*ModelEnv) []int { return nil }
+func (setModel) Expand(env *ModelEnv, bit, _ int, h uint64) Scenario {
+	pulse := 1 + int((h>>32)%SETMaxPulse)
+	if env.Pl.Slack[bit] >= pulse {
+		return nil
+	}
+	return Scenario{{Bit: bit}}
+}
+
+func init() {
+	RegisterModel(ssbModel{})
+	RegisterModel(mbuModel{})
+	RegisterModel(uncoreModel{})
+	RegisterModel(setModel{})
+}

@@ -12,54 +12,49 @@ import (
 
 // This file is the single-event-multiple-upset (SEMU) side of the engine:
 // double-bit injections (one particle, two flip-flops, same cycle) and the
-// campaign loop over flip-flop pairs. Pair injections share the
-// single-flip machinery — the same Reference warm-start, the same
-// convergence pruning, and the same per-Injector counters — so SEMU work
-// is tallied and accelerated exactly like the single-flip campaigns.
+// campaign loop over flip-flop pairs. A pair is the two-flip special case
+// of a fault scenario (see scenario.go), so pair injections share the
+// scenario machinery — the same Reference warm-start, the same convergence
+// pruning, and the same per-Injector counters — and SEMU work is tallied
+// and accelerated exactly like the single-flip campaigns.
+
+// pairScenario builds the two-flip same-cycle scenario of a SEMU.
+func pairScenario(bitA, bitB int) Scenario {
+	return Scenario{{Bit: bitA}, {Bit: bitB}}
+}
 
 // runPairCold is the from-reset pair injection: run to cycle, flip both
-// bits, run to completion or the hang cutoff, classify.
+// bits, run to completion or the hang cutoff, classify. The returned
+// detect cycle is the cycle a detection fired at (-1 unless ED).
 func runPairCold(c sim.Core, p *prog.Program, bitA, bitB, cycle, nomCycles int,
-	hookFactory func(*prog.Program) sim.CommitHook) Outcome {
-	c.Reset(p)
-	if hookFactory != nil {
-		c.SetCommitHook(hookFactory(p))
-	} else {
-		c.SetCommitHook(nil)
-	}
-	for i := 0; i < cycle && !c.Done(); i++ {
-		c.Step()
-	}
-	c.State().FlipBit(bitA)
-	c.State().FlipBit(bitB)
-	res := c.Run(HangFactor * nomCycles)
-	return Classify(p, res)
+	hookFactory func(*prog.Program) sim.CommitHook) (Outcome, int) {
+	return runScenarioCold(c, p, pairScenario(bitA, bitB), cycle, nomCycles, hookFactory)
 }
 
 // RunPair is the scoped form of the package-level RunPair: the injection
 // and its outcome are tallied on this injector, so standalone SEMU probes
 // are visible through the same inject.* counters as campaigns.
 func (in *Injector) RunPair(c sim.Core, p *prog.Program, bitA, bitB, cycle, nomCycles int,
-	hookFactory func(*prog.Program) sim.CommitHook) Outcome {
+	hookFactory func(*prog.Program) sim.CommitHook) (Outcome, int) {
 	in.injTotal.Add(1)
-	out := runPairCold(c, p, bitA, bitB, cycle, nomCycles, hookFactory)
+	out, det := runPairCold(c, p, bitA, bitB, cycle, nomCycles, hookFactory)
 	var one Counts
 	one.Add(out)
 	in.addOutcomes(one)
-	return out
+	return out, det
 }
 
 // RunPairFrom is the pair twin of RunOneFrom: it warm-starts the injection
 // from the reference trajectory's nearest snapshot, flips both bits at the
 // injection cycle, and applies convergence pruning at every checkpoint
-// boundary. The outcome is identical to RunPair's for the same
-// (bitA, bitB, cycle); hook-carrying runs fall back to the exact from-reset
-// path for the same reason RunOneFrom's do.
+// boundary. The (Outcome, detectCycle) is identical to RunPair's for the
+// same (bitA, bitB, cycle); hook-carrying runs fall back to the exact
+// from-reset path for the same reason RunOneFrom's do.
 //
 // The package-level function counts against the default injection scope;
 // use the Injector method to attribute the injection to a specific scope.
 func RunPairFrom(c sim.Core, p *prog.Program, ref *Reference, bitA, bitB, cycle, nomCycles int,
-	hookFactory func(*prog.Program) sim.CommitHook) Outcome {
+	hookFactory func(*prog.Program) sim.CommitHook) (Outcome, int) {
 	return std.RunPairFrom(c, p, ref, bitA, bitB, cycle, nomCycles, hookFactory)
 }
 
@@ -68,48 +63,8 @@ func RunPairFrom(c sim.Core, p *prog.Program, ref *Reference, bitA, bitB, cycle,
 // outcome totals are batched by the campaign loop that owns it (RunPairs),
 // mirroring the single-flip RunOneFrom/Run contract.
 func (in *Injector) RunPairFrom(c sim.Core, p *prog.Program, ref *Reference, bitA, bitB, cycle, nomCycles int,
-	hookFactory func(*prog.Program) sim.CommitHook) Outcome {
-	in.injTotal.Add(1)
-	if hookFactory != nil || ref == nil || ref.Interval <= 0 || len(ref.Ckpts) == 0 {
-		return runPairCold(c, p, bitA, bitB, cycle, nomCycles, hookFactory)
-	}
-	idx := cycle / ref.Interval
-	if idx >= len(ref.Ckpts) {
-		idx = len(ref.Ckpts) - 1
-	}
-	c.Restore(ref.Ckpts[idx])
-	c.SetCommitHook(nil)
-	for c.Cycles() < cycle && !c.Done() {
-		c.Step()
-	}
-	c.State().FlipBit(bitA)
-	c.State().FlipBit(bitB)
-	budget := HangFactor * nomCycles
-	for !c.Done() && c.Cycles() < budget {
-		next := (c.Cycles()/ref.Interval + 1) * ref.Interval
-		if next > budget {
-			next = budget
-		}
-		for !c.Done() && c.Cycles() < next {
-			c.Step()
-		}
-		if c.Done() {
-			break
-		}
-		if i := c.Cycles() / ref.Interval; c.Cycles()%ref.Interval == 0 && i < len(ref.Ckpts) &&
-			c.Matches(ref.Ckpts[i]) {
-			in.injPruned.Add(1)
-			in.pruneCycles.Observe(int64(c.Cycles() - cycle))
-			return Vanished
-		}
-	}
-	var res prog.Result
-	if c.Done() {
-		res = c.Result()
-	} else {
-		res = prog.Result{Status: prog.StatusMaxSteps, Output: c.Output(), Steps: c.Cycles()}
-	}
-	return Classify(p, res)
+	hookFactory func(*prog.Program) sim.CommitHook) (Outcome, int) {
+	return in.RunScenarioFrom(c, p, ref, pairScenario(bitA, bitB), cycle, nomCycles, hookFactory)
 }
 
 // PairConfig describes a SEMU campaign: a (core, program) pair, the sampling
@@ -124,12 +79,16 @@ type PairConfig struct {
 }
 
 // PairResult is a completed SEMU campaign over an explicit pair list:
-// per-pair outcome tallies (indexed like the input pairs) plus totals.
+// per-pair outcome tallies (indexed like the input pairs) plus totals and
+// detection-latency statistics over the ED outcomes (cycles from injection
+// to detection — the same accounting the single-flip Result carries).
 type PairResult struct {
 	Config    PairConfig
 	NomCycles int
 	PerPair   []Counts
 	Totals    Counts
+	DetLatSum int64
+	DetN      int64
 }
 
 // RunPairs executes a SEMU campaign over pairs: SamplesPerPair
@@ -203,13 +162,18 @@ func (in *Injector) RunPairs(cfg PairConfig, p *prog.Program, pairs [][2]int,
 			core := NewCore(cfg.Core, p)
 			local := make([]Counts, len(pairs))
 			var totals Counts
+			var latSum, latN int64
 			for ch := range chunks {
 				for pi := ch.lo; pi < ch.hi; pi++ {
 					for s := 0; s < cfg.SamplesPerPair; s++ {
 						h := splitmix64(cfg.Seed ^ uint64(pi)<<20 ^ uint64(s))
 						cycle := int(h % uint64(nomCycles))
-						out := in.RunPairFrom(core, p, ref, pairs[pi][0], pairs[pi][1],
+						out, det := in.RunPairFrom(core, p, ref, pairs[pi][0], pairs[pi][1],
 							cycle, nomCycles, hookFactory)
+						if out == ED && det >= cycle {
+							latSum += int64(det - cycle)
+							latN++
+						}
 						local[pi].Add(out)
 						totals.Add(out)
 					}
@@ -220,6 +184,8 @@ func (in *Injector) RunPairs(cfg PairConfig, p *prog.Program, pairs [][2]int,
 				res.PerPair[i].Merge(local[i])
 			}
 			res.Totals.Merge(totals)
+			res.DetLatSum += latSum
+			res.DetN += latN
 			mu.Unlock()
 		}()
 	}

@@ -33,11 +33,11 @@ func TestRunPairFromEquivalence(t *testing.T) {
 			bitA := int(h % uint64(nBits))
 			bitB := int((h >> 20) % uint64(nBits))
 			cycle := int((h >> 40) % uint64(nom))
-			o1 := RunPair(cold, p, bitA, bitB, cycle, nom, nil)
-			o2 := RunPairFrom(warm, p, ref, bitA, bitB, cycle, nom, nil)
-			if o1 != o2 {
-				t.Fatalf("%v bits=(%d,%d) cycle=%d: from-reset %v vs checkpointed %v",
-					kind, bitA, bitB, cycle, o1, o2)
+			o1, d1 := RunPair(cold, p, bitA, bitB, cycle, nom, nil)
+			o2, d2 := RunPairFrom(warm, p, ref, bitA, bitB, cycle, nom, nil)
+			if o1 != o2 || d1 != d2 {
+				t.Fatalf("%v bits=(%d,%d) cycle=%d: from-reset (%v,%d) vs checkpointed (%v,%d)",
+					kind, bitA, bitB, cycle, o1, d1, o2, d2)
 			}
 		}
 		// hook-carrying pair injections must keep the exact from-reset path
@@ -48,11 +48,11 @@ func TestRunPairFromEquivalence(t *testing.T) {
 			bitB := int((h >> 20) % uint64(nBits))
 			cycle := int((h >> 40) % uint64(nom))
 			hf := boundsHook(1 << 20)
-			o1 := RunPair(cold, p, bitA, bitB, cycle, nom, hf)
-			o2 := RunPairFrom(warm, p, ref, bitA, bitB, cycle, nom, hf)
-			if o1 != o2 {
-				t.Fatalf("%v hooked bits=(%d,%d) cycle=%d: %v vs %v",
-					kind, bitA, bitB, cycle, o1, o2)
+			o1, d1 := RunPair(cold, p, bitA, bitB, cycle, nom, hf)
+			o2, d2 := RunPairFrom(warm, p, ref, bitA, bitB, cycle, nom, hf)
+			if o1 != o2 || d1 != d2 {
+				t.Fatalf("%v hooked bits=(%d,%d) cycle=%d: (%v,%d) vs (%v,%d)",
+					kind, bitA, bitB, cycle, o1, d1, o2, d2)
 			}
 		}
 	}
@@ -132,7 +132,7 @@ func TestInjectorScopedPairCounters(t *testing.T) {
 	nom := NewCore(InO, p).Run(100000).Steps
 
 	c := NewCore(InO, p)
-	out := in.RunPair(c, p, 1, 2, nom/2, nom, nil)
+	out, _ := in.RunPair(c, p, 1, 2, nom/2, nom, nil)
 	if got := in.Snapshot().TotalInjections; got != 1 {
 		t.Fatalf("after one RunPair: TotalInjections = %d, want 1", got)
 	}
@@ -158,7 +158,7 @@ func TestInjectorScopedPairCounters(t *testing.T) {
 	// run one probe through the package-level wrapper and check only std
 	// moved.
 	before := std.Snapshot().TotalInjections
-	RunPair(c, p, 3, 4, nom/3, nom, nil)
+	RunPair(c, p, 3, 4, nom/3, nom, nil) //nolint — probe for its counter effect
 	if got := std.Snapshot().TotalInjections; got != before+1 {
 		t.Fatalf("package RunPair: std TotalInjections %d -> %d, want +1", before, got)
 	}

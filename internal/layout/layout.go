@@ -61,6 +61,12 @@ func OoOProfile() Profile {
 // the paper's "one flip-flop length" SEMU radius).
 const basePitch = 0.8
 
+// SEMURadius is the single-event multiple-upset strike radius in FF
+// lengths: one particle upsets every flip-flop within one FF length of the
+// struck cell (the paper's Table 5/6 spacing constraint exists to push
+// same-parity-group members beyond this radius).
+const SEMURadius = 1.0
+
 // rowPitch is the vertical distance between placement rows.
 const rowPitch = 1.4
 
@@ -310,30 +316,84 @@ func (p *Placement) MeanSlack(bits []int) float64 {
 // FF length): the pairs a single particle can upset together in this
 // placement (paper Table 5's "vulnerable to a SEMU" population).
 func (p *Placement) AdjacentPairs() [][2]int {
+	var pairs [][2]int
+	for i, nbrs := range p.NeighborLists(SEMURadius) {
+		for _, j := range nbrs {
+			if j > i {
+				pairs = append(pairs, [2]int{i, j})
+			}
+		}
+	}
+	return pairs
+}
+
+// WithinRadius returns the flip-flops strictly within r FF lengths of bit
+// (bit itself excluded), in ascending bit order: the cluster one particle
+// strike at bit reaches. Out-of-range bits return nil.
+func (p *Placement) WithinRadius(bit int, r float64) []int {
+	if bit < 0 || bit >= len(p.X) {
+		return nil
+	}
+	var out []int
+	r2 := r * r
+	for j := range p.X {
+		if j == bit {
+			continue
+		}
+		dx, dy := p.X[bit]-p.X[j], p.Y[bit]-p.Y[j]
+		if dx*dx+dy*dy < r2 {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// NeighborLists returns, for every flip-flop, the bits strictly within r FF
+// lengths of it (self excluded) in ascending bit order — WithinRadius for
+// the whole space in one grid pass. The lists are symmetric: j appears in
+// lists[i] iff i appears in lists[j].
+func (p *Placement) NeighborLists(r float64) [][]int {
 	n := len(p.X)
-	const cell = 2.0
+	cell := r
+	if cell < 1 {
+		cell = 1
+	}
 	type key struct{ cx, cy int }
 	grid := map[key][]int{}
 	for i := 0; i < n; i++ {
 		k := key{int(p.X[i] / cell), int(p.Y[i] / cell)}
 		grid[k] = append(grid[k], i)
 	}
-	var pairs [][2]int
+	lists := make([][]int, n)
+	r2 := r * r
 	for i := 0; i < n; i++ {
 		cx, cy := int(p.X[i]/cell), int(p.Y[i]/cell)
+		var nbrs []int
 		for dx := -1; dx <= 1; dx++ {
 			for dy := -1; dy <= 1; dy++ {
 				for _, j := range grid[key{cx + dx, cy + dy}] {
-					if j <= i {
+					if j == i {
 						continue
 					}
 					dxf, dyf := p.X[i]-p.X[j], p.Y[i]-p.Y[j]
-					if dxf*dxf+dyf*dyf < 1.0 {
-						pairs = append(pairs, [2]int{i, j})
+					if dxf*dxf+dyf*dyf < r2 {
+						nbrs = append(nbrs, j)
 					}
 				}
 			}
 		}
+		sortInts(nbrs)
+		lists[i] = nbrs
 	}
-	return pairs
+	return lists
+}
+
+// sortInts is an insertion sort for the short neighbour lists (typically
+// 0-6 entries; avoids pulling package sort into the hot build path).
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
 }

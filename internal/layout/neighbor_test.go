@@ -1,0 +1,180 @@
+package layout
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"clear/internal/ino"
+	"clear/internal/ooo"
+)
+
+// corePlacements enumerates both core profiles for the table-driven
+// neighbour-query tests.
+func corePlacements() []struct {
+	name string
+	pl   *Placement
+} {
+	return []struct {
+		name string
+		pl   *Placement
+	}{
+		{"InO", Place(ino.Space(), InOProfile())},
+		{"OoO", Place(ooo.Space(), OoOProfile())},
+	}
+}
+
+// TestNearestNeighborGoldens pins the Table 5/6 baseline nearest-neighbour
+// distributions of both core profiles. The placement is deterministic, so
+// any drift here is a real physical-model change — the SEMU pair
+// population, the MBU cluster population, and the paper-comparison tables
+// all derive from these distances.
+func TestNearestNeighborGoldens(t *testing.T) {
+	golden := map[string][5]float64{
+		"InO": {0.6699201419698314, 0.3220940550133097, 0.00709849157054126, 0.0008873114463176575, 0},
+		"OoO": {0.5678493210687692, 0.42917214191852826, 0.002715724923346474, 0.00026281208935611036, 0},
+	}
+	goldenPairs := map[string]int{"InO": 510, "OoO": 4593}
+	for _, tc := range corePlacements() {
+		h := Histogram(tc.pl.NearestNeighbor())
+		want := golden[tc.name]
+		for i := range h {
+			if math.Abs(h[i]-want[i]) > 1e-12 {
+				t.Errorf("%s %s bucket: %.16f, want %.16f", tc.name, SpacingBuckets[i], h[i], want[i])
+			}
+		}
+		if got := len(tc.pl.AdjacentPairs()); got != goldenPairs[tc.name] {
+			t.Errorf("%s SEMU-adjacent pairs: %d, want %d", tc.name, got, goldenPairs[tc.name])
+		}
+	}
+}
+
+// bruteWithin is the O(n) reference for the neighbour queries.
+func bruteWithin(pl *Placement, bit int, r float64) []int {
+	var out []int
+	for j := range pl.X {
+		if j == bit {
+			continue
+		}
+		dx, dy := pl.X[bit]-pl.X[j], pl.Y[bit]-pl.Y[j]
+		if dx*dx+dy*dy < r*r {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// TestWithinRadiusClusters is the table-driven within-radius cluster
+// lookup over both core profiles: a spread of strike bits and radii,
+// checked against the brute-force reference, plus the out-of-range
+// contract.
+func TestWithinRadiusClusters(t *testing.T) {
+	for _, tc := range corePlacements() {
+		n := len(tc.pl.X)
+		bits := []int{0, 1, 7, n / 3, n / 2, n - 2, n - 1}
+		for _, r := range []float64{0.5, SEMURadius, 2.5} {
+			for _, bit := range bits {
+				got := tc.pl.WithinRadius(bit, r)
+				want := bruteWithin(tc.pl, bit, r)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s WithinRadius(%d, %g) = %v, want %v", tc.name, bit, r, got, want)
+				}
+				for _, j := range got {
+					if j == bit {
+						t.Fatalf("%s WithinRadius(%d, %g) contains the bit itself", tc.name, bit, r)
+					}
+				}
+			}
+		}
+		if tc.pl.WithinRadius(-1, 1) != nil || tc.pl.WithinRadius(n, 1) != nil {
+			t.Fatalf("%s WithinRadius out-of-range bit should return nil", tc.name)
+		}
+	}
+}
+
+// TestNeighborListsMatchWithinRadius checks the grid-accelerated bulk
+// query against the per-bit query on every flip-flop, and the symmetry
+// contract (j in lists[i] iff i in lists[j]).
+func TestNeighborListsMatchWithinRadius(t *testing.T) {
+	for _, tc := range corePlacements() {
+		lists := tc.pl.NeighborLists(SEMURadius)
+		if len(lists) != len(tc.pl.X) {
+			t.Fatalf("%s: %d lists for %d bits", tc.name, len(lists), len(tc.pl.X))
+		}
+		for i, l := range lists {
+			if want := tc.pl.WithinRadius(i, SEMURadius); !reflect.DeepEqual(l, want) {
+				t.Fatalf("%s bit %d: NeighborLists %v != WithinRadius %v", tc.name, i, l, want)
+			}
+			for _, j := range l {
+				sym := false
+				for _, k := range lists[j] {
+					if k == i {
+						sym = true
+						break
+					}
+				}
+				if !sym {
+					t.Fatalf("%s: %d in lists[%d] but not vice versa", tc.name, j, i)
+				}
+			}
+		}
+	}
+}
+
+// TestAdjacentPairsFromNeighborLists checks the SEMU pair population is
+// exactly the deduplicated neighbour relation: each unordered pair once,
+// in ascending (i, j) order with i < j.
+func TestAdjacentPairsFromNeighborLists(t *testing.T) {
+	for _, tc := range corePlacements() {
+		pairs := tc.pl.AdjacentPairs()
+		seen := map[[2]int]bool{}
+		for _, pr := range pairs {
+			if pr[0] >= pr[1] {
+				t.Fatalf("%s: pair %v not ascending", tc.name, pr)
+			}
+			if seen[pr] {
+				t.Fatalf("%s: pair %v duplicated", tc.name, pr)
+			}
+			seen[pr] = true
+		}
+		total := 0
+		for i, l := range tc.pl.NeighborLists(SEMURadius) {
+			for _, j := range l {
+				if j > i && !seen[[2]int{i, j}] {
+					t.Fatalf("%s: neighbour pair (%d,%d) missing from AdjacentPairs", tc.name, i, j)
+				}
+				if j > i {
+					total++
+				}
+			}
+		}
+		if total != len(pairs) {
+			t.Fatalf("%s: %d pairs, neighbour relation has %d", tc.name, len(pairs), total)
+		}
+	}
+}
+
+// TestClusterSizesBounded sanity-checks the MBU cluster population the mbu
+// fault model injects: clusters exist (the cores are dense enough that most
+// bits have a neighbour inside the SEMU radius) but stay small — a single
+// particle reaches a handful of flip-flops, not a whole unit.
+func TestClusterSizesBounded(t *testing.T) {
+	for _, tc := range corePlacements() {
+		lists := tc.pl.NeighborLists(SEMURadius)
+		withNbr, max := 0, 0
+		for _, l := range lists {
+			if len(l) > 0 {
+				withNbr++
+			}
+			if len(l) > max {
+				max = len(l)
+			}
+		}
+		if frac := float64(withNbr) / float64(len(lists)); frac < 0.3 {
+			t.Errorf("%s: only %.0f%% of flip-flops have a SEMU neighbour", tc.name, 100*frac)
+		}
+		if max > 8 {
+			t.Errorf("%s: a cluster has %d neighbours — implausibly dense", tc.name, max)
+		}
+	}
+}

@@ -138,6 +138,35 @@ func Group(h Heuristic, size int, space *ff.Space, pl *layout.Placement, vuln []
 	return g
 }
 
+// Interleave forms parity groups by round-robin dealing over the
+// index-sorted flip-flops: the i-th bit lands in group i%n, where n is the
+// group count needed for the nominal size. The placement assigns
+// consecutive bit indices to adjacent sites, so index order is placement
+// order. Physically adjacent flip-flops
+// therefore land in different parity groups, which is the classic defense
+// against spatial multi-bit upsets — a cluster of flips from one particle
+// intersects each group at most once (odd overlap), so every affected
+// group's XOR tree fires, whereas contiguous grouping can take an even
+// number of hits in one group and cancel. The cost is wire length: each
+// group spans the whole sequence instead of one neighbourhood.
+func Interleave(bits []int, size int) Grouping {
+	sorted := make([]int, len(bits))
+	copy(sorted, bits)
+	sort.Ints(sorted)
+	if size < 1 {
+		size = 1
+	}
+	n := (len(sorted) + size - 1) / size
+	if n == 0 {
+		return Grouping{}
+	}
+	groups := make([][]int, n)
+	for i, b := range sorted {
+		groups[i%n] = append(groups[i%n], b)
+	}
+	return Grouping{Groups: groups, Pipelined: make([]bool, n)}
+}
+
 // localityGroups orders flip-flops by functional unit and chunks the
 // ordered sequence into full-size groups. Groups prefer to stay within one
 // unit (minimal predictor/checker wiring) but small per-unit remainders

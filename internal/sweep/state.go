@@ -85,6 +85,13 @@ type Key struct {
 	// must be rejected, not silently mixed. omitempty keeps pre-filter state
 	// files decoding (and matching) as the empty spec.
 	Techniques string `json:"techniques,omitempty"`
+	// FaultModel is the fault model the sweep's campaigns run under
+	// (inject.ModelNames). The ssb default is normalized to "" so legacy
+	// state files — written before fault models existed, all implicitly
+	// single-bit — keep decoding and matching; any other model changes
+	// every campaign in the grid, so resuming under a different model is
+	// rejected like a technique-filter mismatch.
+	FaultModel string `json:"fault_model,omitempty"`
 }
 
 // CellOutcome is the persisted result of one (combination, benchmark) cell.

@@ -120,3 +120,67 @@ func TestStateRejectsDifferentTechniqueFilter(t *testing.T) {
 		t.Fatal("filtered state accepted by an unfiltered sweep")
 	}
 }
+
+// TestStateRejectsDifferentFaultModel: sweep state persisted under one
+// -fault-model must not be restored into a sweep running another — every
+// campaign in the grid measures a different physical event, so mixing
+// cells would silently blend the models' numbers.
+func TestStateRejectsDifferentFaultModel(t *testing.T) {
+	mk := func(model string) (*core.Engine, Sweep) {
+		e := core.NewEngine(inject.InO)
+		e.SamplesBase, e.SamplesTech = 1, 1
+		e.FaultModel = model
+		return e, New(e, bench.All()[:2], core.SDC, 5)
+	}
+
+	_, swMBU := mk("mbu")
+	if swMBU.Key.FaultModel != "mbu" {
+		t.Fatalf("Key.FaultModel = %q, want mbu", swMBU.Key.FaultModel)
+	}
+	cells := make([]*CellOutcome, len(swMBU.Combos)*len(swMBU.Benches))
+	cells[0] = &CellOutcome{SDCImp: 5, TargetMet: true}
+	path := filepath.Join(t.TempDir(), "state.json")
+	if err := saveState(path, swMBU, cells); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// same model: restored
+	if _, swSame := mk("mbu"); true {
+		if got, ok := decodeState(data, swSame); !ok || len(got) != 1 {
+			t.Fatalf("same-model state not restored (ok=%v, cells=%d)", ok, len(got))
+		}
+	}
+	// different model / the ssb default: rejected outright
+	for _, model := range []string{"uncore", "ssb", ""} {
+		_, sw := mk(model)
+		if _, ok := decodeState(data, sw); ok {
+			t.Fatalf("mbu state accepted by a %q sweep", model)
+		}
+	}
+
+	// The ssb default and "" are one identity: state saved by an engine
+	// with the explicit default must restore into one with the empty field
+	// (and therefore into legacy state files, which predate the key).
+	_, swSSB := mk("ssb")
+	if swSSB.Key.FaultModel != "" {
+		t.Fatalf(`explicit ssb normalized to %q, want ""`, swSSB.Key.FaultModel)
+	}
+	cellsB := make([]*CellOutcome, len(swSSB.Combos)*len(swSSB.Benches))
+	cellsB[0] = &CellOutcome{SDCImp: 2}
+	pathB := filepath.Join(t.TempDir(), "ssb.json")
+	if err := saveState(pathB, swSSB, cellsB); err != nil {
+		t.Fatal(err)
+	}
+	dataB, err := os.ReadFile(pathB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, swEmpty := mk("")
+	if got, ok := decodeState(dataB, swEmpty); !ok || len(got) != 1 {
+		t.Fatalf("ssb state not restored by the default engine (ok=%v, cells=%d)", ok, len(got))
+	}
+}

@@ -72,8 +72,9 @@ func New(e *core.Engine, benches []*bench.Benchmark, metric core.Metric, target 
 			Seed:        e.Seed,
 			SamplesBase: e.SamplesBase,
 			SamplesTech: e.SamplesTech,
+			FaultModel:  normalizeModel(e.FaultModel),
 		},
-		Combos:  core.Enumerate(e.Kind),
+		Combos:  core.EnumerateForModel(e.Kind, nil, e.FaultModel),
 		Benches: benches,
 		Eval: func(c core.Combo, b *bench.Benchmark) (core.Outcome, error) {
 			return e.EvalCombo(b, c, metric, target)
@@ -89,8 +90,18 @@ func New(e *core.Engine, benches []*bench.Benchmark, metric core.Metric, target 
 // -techniques selection is rejected — never silently mixed — when resumed
 // under another.
 func (s *Sweep) ApplyFilter(e *core.Engine, f *technique.Filter) {
-	s.Combos = core.EnumerateWith(e.Kind, f)
+	s.Combos = core.EnumerateForModel(e.Kind, f, e.FaultModel)
 	s.Key.Techniques = f.Spec()
+}
+
+// normalizeModel maps the ssb default (and "") to the empty string so
+// legacy state files — which predate fault models and carry no
+// "fault_model" key — keep matching single-bit sweeps.
+func normalizeModel(model string) string {
+	if model == inject.DefaultModel {
+		return ""
+	}
+	return model
 }
 
 // Options tunes a sweep run.

@@ -177,6 +177,12 @@ type diceTech struct{ Info }
 
 func (diceTech) Corrects() bool { return true }
 
+// AppliesToModel: a LEAP-DICE cell hardens the storage nodes against
+// particle strikes (ssb, mbu clusters, uncore strikes) but a single-event
+// transient arrives through the combinational D input and is latched like
+// any ordinary flip-flop — the cell offers no protection under "set".
+func (diceTech) AppliesToModel(model string) bool { return model != "set" }
+
 // Residual: a LEAP-DICE cell scales every error class by its SER ratio.
 func (diceTech) Residual(n, sdc, due float64, recovered bool) (float64, float64) {
 	f := circuitlib.Get(circuitlib.LEAPDICE).SERRatio
@@ -201,6 +207,13 @@ func (detectorCell) Residual(n, sdc, due float64, recovered bool) (float64, floa
 func (detectorCell) CompatibleWith(recovery.Kind, string) bool { return true }
 
 type parityTech struct{ detectorCell }
+
+// AppliesToModel: the parity tree checks the latched state, so a transient
+// latched through the D input corrupts data and check bit consistently —
+// parity sees a valid codeword and detects nothing under "set". (Razor-like
+// EDS samples the combinational output twice in time and does catch
+// transients, so edsTech deliberately has no ModelCompat.)
+func (parityTech) AppliesToModel(model string) bool { return model != "set" }
 
 type edsTech struct{ detectorCell }
 

@@ -218,6 +218,28 @@ func CompatibleWith(t Technique, k recovery.Kind, core string) bool {
 	return ok && rc.CompatibleWith(k, core)
 }
 
+// ModelCompat declares which fault models (inject.ModelNames) a technique
+// remains effective against. A technique without ModelCompat is assumed
+// effective under every model: most techniques observe corrupted state the
+// same way regardless of how the corruption arrived. The interface exists
+// for the exceptions — e.g. a flip-flop hardening cell (LEAP-DICE) stops
+// particle strikes on the storage node but latches a single-event
+// transient arriving through the D input like any ordinary flip-flop.
+type ModelCompat interface {
+	AppliesToModel(model string) bool
+}
+
+// AppliesToModel reports whether a technique is effective under a fault
+// model. The empty model and the ssb default are universal; otherwise the
+// technique's ModelCompat decides, defaulting to effective when absent.
+func AppliesToModel(t Technique, model string) bool {
+	if model == "" || model == "ssb" {
+		return true
+	}
+	mc, ok := t.(ModelCompat)
+	return !ok || mc.AppliesToModel(model)
+}
+
 // CampaignTagOf returns a technique's cache-tag fragment: its Tagger
 // fragment, or a sanitized lowercase name for techniques without one.
 func CampaignTagOf(t Technique, o Options) string {
