@@ -37,13 +37,16 @@ import (
 	"log"
 	"math"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
+	"clear/internal/analysis"
 	"clear/internal/bench"
 	"clear/internal/core"
 	"clear/internal/inject"
 	"clear/internal/obs"
+	"clear/internal/recovery"
 	"clear/internal/resilient"
 	"clear/internal/sweep"
 	"clear/internal/tcode"
@@ -69,6 +72,8 @@ func main() {
 		"comma-separated technique filter: names include (e.g. LEAP-DICE,Parity), -name excludes (e.g. -EDS); empty = all")
 	faultModel := flag.String("fault-model", inject.DefaultModel,
 		"fault model for every campaign: "+strings.Join(inject.ModelNames(), ", "))
+	selective := flag.String("selective", "",
+		"comma-separated top-k unit counts adding structure-granularity selective-hardening points to the frontier (e.g. 1,2,4; empty = off)")
 	metricsAddr := flag.String("metrics-addr", "",
 		"serve /metrics, /debug/vars and /debug/pprof on this address while the sweep runs (e.g. 127.0.0.1:9090; empty = off)")
 	traceOut := flag.String("trace-out", "",
@@ -199,6 +204,42 @@ func main() {
 		printed++
 	}
 
+	// The -selective axis: structure-granularity cost points (protect the
+	// top-k most SDC-vulnerable units outright) evaluated on the aggregated
+	// baseline campaigns and merged into the frontier, so the printout shows
+	// whether unit-level insertion competes with flip-flop-level plans.
+	if *selective != "" {
+		ks, err := parseKList(*selective)
+		if err != nil {
+			log.Fatalf("-selective: %v", err)
+		}
+		var rs []*inject.Result
+		for _, b := range sw.Benches {
+			r, err := e.Base(b)
+			if err != nil {
+				log.Fatalf("-selective: baseline campaign %s: %v", b.Name, err)
+			}
+			rs = append(rs, r)
+		}
+		agg := analysis.Aggregate(rs)
+		opt := core.HardenOptions{
+			DICE: true, Parity: true, EDS: true,
+			Recovery:    recovery.None,
+			FixedGamma:  1,
+			BaseSDCRate: float64(agg.Totals.SDC()) / float64(agg.Totals.N),
+			BaseDUERate: float64(agg.Totals.UT+agg.Totals.Hang) / float64(agg.Totals.N),
+		}
+		fmt.Printf("\nselective structure-granularity points (baseline campaigns, %d benchmark(s)):\n", len(rs))
+		var pts []core.ParetoPoint
+		for _, k := range ks {
+			pt, _, units := e.SelectiveHardening(agg, opt, core.SDC, k)
+			fmt.Printf("  top-%-3d %10s %7.1f%%  units: %s\n",
+				k, fmtImp(pt.Improvement), 100*pt.Energy, strings.Join(units, ", "))
+			pts = append(pts, pt)
+		}
+		res.Frontier = core.ParetoFrontier(append(append([]core.ParetoPoint{}, res.Frontier...), pts...))
+	}
+
 	fmt.Printf("\nPareto frontier (SDC improvement vs energy), %d points:\n", len(res.Frontier))
 	for _, p := range res.Frontier {
 		fmt.Printf("  %-58s %10s %7.1f%%\n", p.Name, fmtImp(p.Improvement), 100*p.Energy)
@@ -221,6 +262,27 @@ func main() {
 		}
 		os.Exit(1)
 	}
+}
+
+// parseKList parses the -selective value: positive comma-separated top-k
+// unit counts.
+func parseKList(s string) ([]int, error) {
+	var ks []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, err := strconv.Atoi(part)
+		if err != nil || k <= 0 {
+			return nil, fmt.Errorf("bad top-k value %q (want positive integers, e.g. 1,2,4)", part)
+		}
+		ks = append(ks, k)
+	}
+	if len(ks) == 0 {
+		return nil, fmt.Errorf("no top-k values in %q", s)
+	}
+	return ks, nil
 }
 
 func indent(s, prefix string) string {

@@ -16,7 +16,12 @@ import (
 	"clear/internal/stats"
 )
 
-// Aggregate sums per-flip-flop campaign statistics across benchmarks.
+// Aggregate sums per-flip-flop campaign statistics across benchmarks. The
+// per-flip-flop counters saturate at their uint16 bound when many merged
+// campaigns exceed it (inject.FFStats.AddSat) instead of wrapping around.
+// Detection-latency sums and the nominal cycle/retirement totals are
+// carried through, so aggregated mean detection latency and per-cycle
+// normalizations read correctly (they used to silently sum to zero).
 func Aggregate(results []*inject.Result) *inject.Result {
 	if len(results) == 0 {
 		return nil
@@ -24,13 +29,13 @@ func Aggregate(results []*inject.Result) *inject.Result {
 	agg := &inject.Result{PerFF: make([]inject.FFStats, len(results[0].PerFF))}
 	for _, r := range results {
 		for i, st := range r.PerFF {
-			agg.PerFF[i].N += st.N
-			agg.PerFF[i].OMM += st.OMM
-			agg.PerFF[i].UT += st.UT
-			agg.PerFF[i].Hang += st.Hang
-			agg.PerFF[i].ED += st.ED
+			agg.PerFF[i].AddSat(st)
 		}
 		agg.Totals.Merge(r.Totals)
+		agg.DetLatSum += r.DetLatSum
+		agg.DetN += r.DetN
+		agg.NomCycles += r.NomCycles
+		agg.NomRet += r.NomRet
 	}
 	return agg
 }

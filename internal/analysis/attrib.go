@@ -1,0 +1,160 @@
+package analysis
+
+// Attribution analysis: turn a campaign's per-flip-flop tallies and the
+// per-injection Records of an attached inject.RecordSink into the rankings
+// an architect acts on — which pipeline structure is most vulnerable
+// (UnitRanking) and which static instructions' in-flight state soaks up the
+// failing strikes (InstRanking). Both are pure functions of already-measured
+// data; they run no simulation.
+
+import (
+	"sort"
+
+	"clear/internal/ff"
+	"clear/internal/inject"
+	"clear/internal/prog"
+	"clear/internal/stats"
+)
+
+// UnitAVF is one functional unit's aggregated vulnerability: outcome
+// counts over every injection into the unit's flip-flops, the resulting
+// architectural vulnerability factor (fraction of strikes that caused any
+// failure), and its binomial confidence interval.
+type UnitAVF struct {
+	Unit string
+	Bits int // flip-flops in the unit
+	N    int // injections sampled into the unit
+
+	Vanished int
+	OMM      int
+	UT       int
+	Hang     int
+	ED       int
+
+	AVF     float64 // (OMM+UT+Hang+ED)/N
+	SDCFrac float64 // OMM/N
+	DUEFrac float64 // (UT+Hang+ED)/N
+	CILo    float64 // binomial CI on AVF
+	CIHi    float64
+}
+
+// Failures returns the unit's total failing strikes (everything but
+// Vanished).
+func (u UnitAVF) Failures() int { return u.OMM + u.UT + u.Hang + u.ED }
+
+// UnitRanking groups a campaign's per-flip-flop statistics by functional
+// unit and ranks units by decreasing AVF (ties broken by unit name). The
+// space must be the one the campaign injected into — each PerFF index is
+// resolved through space.UnitOf. Confidence intervals are normal-
+// approximation binomial bounds at the given z (stats.BinomialCI); units
+// that received no samples report AVF 0 with the vacuous (0,1) interval.
+func UnitRanking(space *ff.Space, r *inject.Result, z float64) []UnitAVF {
+	byUnit := make(map[string]*UnitAVF)
+	order := space.Units()
+	for _, u := range order {
+		byUnit[u] = &UnitAVF{Unit: u}
+	}
+	for bit, st := range r.PerFF {
+		u := byUnit[space.UnitOf(bit)]
+		if u == nil {
+			continue // bit beyond the space (mismatched result); skip
+		}
+		u.Bits++
+		u.N += int(st.N)
+		u.OMM += int(st.OMM)
+		u.UT += int(st.UT)
+		u.Hang += int(st.Hang)
+		u.ED += int(st.ED)
+	}
+	out := make([]UnitAVF, 0, len(order))
+	for _, name := range order {
+		u := byUnit[name]
+		u.Vanished = u.N - u.Failures()
+		if u.N > 0 {
+			n := float64(u.N)
+			u.AVF = float64(u.Failures()) / n
+			u.SDCFrac = float64(u.OMM) / n
+			u.DUEFrac = float64(u.UT+u.Hang+u.ED) / n
+		}
+		u.CILo, u.CIHi = stats.BinomialCI(u.AVF, u.N, z)
+		out = append(out, *u)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AVF != out[j].AVF {
+			return out[i].AVF > out[j].AVF
+		}
+		return out[i].Unit < out[j].Unit
+	})
+	return out
+}
+
+// InstContribution is one static instruction's share of a campaign's
+// failures: over every attributed injection whose struck structure held
+// this instruction's state, how many strikes it absorbed and how many
+// failed. PCs are word indices into the program; Word is the instruction
+// encoding when the PC is in range (corrupted pointers can reference
+// out-of-range PCs — those entries keep Word 0 and InRange false).
+type InstContribution struct {
+	PC      uint32
+	Word    uint32
+	InRange bool
+	N       int // attributed injections
+	SDC     int // OMM outcomes
+	DUE     int // UT+Hang+ED outcomes
+	Share   float64
+}
+
+// InstRanking ranks static instructions by the failures attributed to them,
+// from the per-injection records of a campaign run with a RecordSink.
+// Records without a root instruction (RootPC == inject.NoRootPC — the
+// struck structure was empty) are excluded; Share is each instruction's
+// fraction of ALL failing records, attributed or not, so the shares sum to
+// the attributed fraction of failures rather than a misleading 1.0.
+// Ordering is by decreasing failures, ties by decreasing N, then PC.
+func InstRanking(recs []inject.Record, p *prog.Program) []InstContribution {
+	byPC := make(map[uint32]*InstContribution)
+	totalFail := 0
+	for _, rec := range recs {
+		fail := rec.Outcome != inject.Vanished
+		if fail {
+			totalFail++
+		}
+		if rec.RootPC == inject.NoRootPC {
+			continue
+		}
+		c := byPC[rec.RootPC]
+		if c == nil {
+			c = &InstContribution{PC: rec.RootPC}
+			if int64(rec.RootPC) < int64(len(p.Words)) {
+				c.Word = p.Words[rec.RootPC]
+				c.InRange = true
+			}
+			byPC[rec.RootPC] = c
+		}
+		c.N++
+		switch rec.Outcome {
+		case inject.OMM:
+			c.SDC++
+		case inject.UT, inject.Hang, inject.ED:
+			c.DUE++
+		}
+	}
+	out := make([]InstContribution, 0, len(byPC))
+	for _, c := range byPC {
+		if totalFail > 0 {
+			c.Share = float64(c.SDC+c.DUE) / float64(totalFail)
+		}
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		fi, fj := out[i].SDC+out[i].DUE, out[j].SDC+out[j].DUE
+		if fi != fj {
+			return fi > fj
+		}
+		if out[i].N != out[j].N {
+			return out[i].N > out[j].N
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"clear/internal/ff"
+	"clear/internal/inject"
+	"clear/internal/isa"
+	"clear/internal/prog"
+)
+
+// testSpace builds a tiny two-unit space: alpha holds 4 bits, beta 4 bits.
+func testSpace() *ff.Space {
+	s := ff.NewSpace()
+	s.Alloc("alpha", "a.x", 2)
+	s.Alloc("alpha", "a.y", 2)
+	s.Alloc("beta", "b.z", 4)
+	s.Freeze()
+	return s
+}
+
+func TestUnitRanking(t *testing.T) {
+	s := testSpace()
+	r := &inject.Result{PerFF: make([]inject.FFStats, s.NumBits())}
+	// alpha: 8 samples, 4 failures (2 OMM + 1 UT + 1 ED). beta: 8 samples,
+	// 1 failure (Hang).
+	r.PerFF[0] = inject.FFStats{N: 2, OMM: 1}
+	r.PerFF[1] = inject.FFStats{N: 2, OMM: 1, UT: 1}
+	r.PerFF[2] = inject.FFStats{N: 2, ED: 1}
+	r.PerFF[3] = inject.FFStats{N: 2}
+	r.PerFF[4] = inject.FFStats{N: 2, Hang: 1}
+	for i := 5; i < 8; i++ {
+		r.PerFF[i] = inject.FFStats{N: 2}
+	}
+	ranked := UnitRanking(s, r, 1.96)
+	if len(ranked) != 2 {
+		t.Fatalf("units = %d, want 2", len(ranked))
+	}
+	a, b := ranked[0], ranked[1]
+	if a.Unit != "alpha" || b.Unit != "beta" {
+		t.Fatalf("order = %s, %s; want alpha first", a.Unit, b.Unit)
+	}
+	if a.Bits != 4 || a.N != 8 || a.OMM != 2 || a.UT != 1 || a.ED != 1 || a.Vanished != 4 {
+		t.Fatalf("alpha = %+v", a)
+	}
+	if got, want := a.AVF, 0.5; got != want {
+		t.Fatalf("alpha AVF = %v, want %v", got, want)
+	}
+	if a.CILo >= a.AVF || a.CIHi <= a.AVF {
+		t.Fatalf("alpha CI [%v, %v] does not bracket AVF %v", a.CILo, a.CIHi, a.AVF)
+	}
+	if b.AVF != 0.125 || b.Hang != 1 {
+		t.Fatalf("beta = %+v", b)
+	}
+	if a.SDCFrac != 0.25 || a.DUEFrac != 0.25 {
+		t.Fatalf("alpha fracs = %v, %v", a.SDCFrac, a.DUEFrac)
+	}
+}
+
+func TestUnitRankingEmpty(t *testing.T) {
+	s := testSpace()
+	r := &inject.Result{PerFF: make([]inject.FFStats, s.NumBits())}
+	for _, u := range UnitRanking(s, r, 1.96) {
+		if u.AVF != 0 || u.CILo != 0 || u.CIHi != 1 {
+			t.Fatalf("unsampled unit %s = %+v, want AVF 0 with vacuous CI", u.Unit, u)
+		}
+	}
+}
+
+func testProgram(t *testing.T) *prog.Program {
+	t.Helper()
+	b := isa.NewBuilder()
+	b.Li(1, 7)
+	b.Out(1)
+	b.Halt()
+	p, err := prog.New("attrib", b.Items(), nil, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestInstRanking(t *testing.T) {
+	p := testProgram(t)
+	recs := []inject.Record{
+		{Bit: 0, Outcome: inject.OMM, RootPC: 1},
+		{Bit: 1, Outcome: inject.UT, RootPC: 1},
+		{Bit: 2, Outcome: inject.Vanished, RootPC: 1},
+		{Bit: 3, Outcome: inject.OMM, RootPC: 0},
+		{Bit: 4, Outcome: inject.Hang, RootPC: inject.NoRootPC}, // unattributed failure
+		{Bit: 5, Outcome: inject.ED, RootPC: 999},               // out-of-range root
+	}
+	ranked := InstRanking(recs, p)
+	if len(ranked) != 3 {
+		t.Fatalf("instructions = %d, want 3", len(ranked))
+	}
+	top := ranked[0]
+	if top.PC != 1 || top.N != 3 || top.SDC != 1 || top.DUE != 1 || !top.InRange {
+		t.Fatalf("top = %+v", top)
+	}
+	// 5 failing records total; pc 1 contributed 2.
+	if math.Abs(top.Share-0.4) > 1e-12 {
+		t.Fatalf("top share = %v, want 0.4", top.Share)
+	}
+	if top.Word != p.Words[1] {
+		t.Fatalf("top word = %#x, want %#x", top.Word, p.Words[1])
+	}
+	for _, c := range ranked {
+		if c.PC == 999 {
+			if c.InRange || c.Word != 0 {
+				t.Fatalf("out-of-range root = %+v", c)
+			}
+		}
+	}
+}
+
+// TestAggregateCarriesAllFields is the regression for the Aggregate bug
+// that dropped detection-latency sums and the nominal run totals.
+func TestAggregateCarriesAllFields(t *testing.T) {
+	a := &inject.Result{
+		NomCycles: 100, NomRet: 50,
+		PerFF:     []inject.FFStats{{N: 2, OMM: 1}},
+		Totals:    inject.Counts{N: 2, Vanished: 1, OMM: 1},
+		DetLatSum: 30, DetN: 2,
+	}
+	b := &inject.Result{
+		NomCycles: 200, NomRet: 80,
+		PerFF:     []inject.FFStats{{N: 2, UT: 1}},
+		Totals:    inject.Counts{N: 2, Vanished: 1, UT: 1},
+		DetLatSum: 12, DetN: 1,
+	}
+	agg := Aggregate([]*inject.Result{a, b})
+	if agg.DetLatSum != 42 || agg.DetN != 3 {
+		t.Fatalf("detection latency dropped: sum %d n %d", agg.DetLatSum, agg.DetN)
+	}
+	if agg.NomCycles != 300 || agg.NomRet != 130 {
+		t.Fatalf("nominal totals dropped: cycles %d ret %d", agg.NomCycles, agg.NomRet)
+	}
+	if agg.Totals.N != 4 || agg.PerFF[0].N != 4 || agg.PerFF[0].OMM != 1 || agg.PerFF[0].UT != 1 {
+		t.Fatalf("per-FF merge wrong: %+v / %+v", agg.Totals, agg.PerFF[0])
+	}
+}
+
+// TestAggregateSaturates checks that re-aggregating near-full per-FF
+// counters clamps instead of wrapping.
+func TestAggregateSaturates(t *testing.T) {
+	full := &inject.Result{PerFF: []inject.FFStats{{N: math.MaxUint16, OMM: math.MaxUint16}}}
+	agg := Aggregate([]*inject.Result{full, full, full})
+	if agg.PerFF[0].N != math.MaxUint16 || agg.PerFF[0].OMM != math.MaxUint16 {
+		t.Fatalf("counters wrapped: %+v", agg.PerFF[0])
+	}
+}

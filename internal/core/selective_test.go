@@ -1,0 +1,123 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"clear/internal/inject"
+)
+
+// syntheticResult concentrates every failure in one unit: each of the
+// unit's flip-flops takes 2 samples with 1 OMM; every other flip-flop
+// takes 2 clean samples.
+func syntheticResult(e *Engine, hotUnit string) *inject.Result {
+	n := e.Space.NumBits()
+	r := &inject.Result{PerFF: make([]inject.FFStats, n)}
+	for bit := 0; bit < n; bit++ {
+		st := inject.FFStats{N: 2}
+		if e.Space.UnitOf(bit) == hotUnit {
+			st.OMM = 1
+		}
+		r.PerFF[bit] = st
+		r.Totals.N += int(st.N)
+		r.Totals.OMM += int(st.OMM)
+		r.Totals.Vanished += int(st.N) - int(st.OMM)
+	}
+	return r
+}
+
+func TestSelectiveHardeningRanksAndProtects(t *testing.T) {
+	e := NewEngine(inject.InO)
+	res := syntheticResult(e, "memory")
+	opt := HardenOptions{
+		DICE:        true,
+		FixedGamma:  1,
+		BaseSDCRate: float64(res.Totals.OMM) / float64(res.Totals.N),
+	}
+
+	pt0, plan0, units0 := e.SelectiveHardening(res, opt, SDC, 0)
+	if len(units0) != 0 || pt0.Improvement != 1 {
+		t.Fatalf("top-0 = %+v, units %v; want baseline (improvement 1, no units)", pt0, units0)
+	}
+	for _, c := range plan0.Assign {
+		if c != CellNone {
+			t.Fatal("top-0 protected a flip-flop")
+		}
+	}
+
+	pt1, plan1, units1 := e.SelectiveHardening(res, opt, SDC, 1)
+	if len(units1) != 1 || units1[0] != "memory" {
+		t.Fatalf("top-1 units = %v, want the injected hot unit [memory]", units1)
+	}
+	if pt1.Improvement <= 1 {
+		t.Fatalf("top-1 improvement = %v, want > 1", pt1.Improvement)
+	}
+	if pt1.Energy <= 0 {
+		t.Fatalf("top-1 energy = %v, want > 0", pt1.Energy)
+	}
+	if !strings.Contains(pt1.Name, "top-1") || !strings.Contains(pt1.Name, "memory") {
+		t.Fatalf("top-1 name = %q", pt1.Name)
+	}
+	// Every memory bit protected, nothing else.
+	for bit, c := range plan1.Assign {
+		hot := e.Space.UnitOf(bit) == "memory"
+		if hot && c == CellNone {
+			t.Fatalf("hot bit %d unprotected", bit)
+		}
+		if !hot && c != CellNone {
+			t.Fatalf("cold bit %d protected", bit)
+		}
+	}
+
+	// More units cannot lower improvement but must cost more energy; a
+	// beyond-the-space k clamps to the full core.
+	prevEnergy := pt1.Energy
+	for _, k := range []int{2, 4, 8, 1000} {
+		pt, _, units := e.SelectiveHardening(res, opt, SDC, k)
+		if pt.Improvement < pt1.Improvement {
+			t.Fatalf("top-%d improvement %v below top-1's %v", k, pt.Improvement, pt1.Improvement)
+		}
+		if pt.Energy < prevEnergy {
+			t.Fatalf("top-%d energy %v below top-%s", k, pt.Energy, "smaller k")
+		}
+		prevEnergy = pt.Energy
+		if k == 1000 && len(units) != len(e.Space.Units()) {
+			t.Fatalf("top-1000 protected %d units, want all %d", len(units), len(e.Space.Units()))
+		}
+	}
+}
+
+// TestSelectivePointOnFrontier is the exploration-layer acceptance: at
+// least one top-k structure-granularity point must survive Pareto pruning
+// against the other top-k points and a deliberately dominated combination.
+func TestSelectivePointOnFrontier(t *testing.T) {
+	e := NewEngine(inject.InO)
+	res := syntheticResult(e, "memory")
+	opt := HardenOptions{
+		DICE:        true,
+		FixedGamma:  1,
+		BaseSDCRate: float64(res.Totals.OMM) / float64(res.Totals.N),
+	}
+	var pts []ParetoPoint
+	var selNames []string
+	for _, k := range []int{1, 2, 4, 8} {
+		pt, _, _ := e.SelectiveHardening(res, opt, SDC, k)
+		pts = append(pts, pt)
+		selNames = append(selNames, pt.Name)
+	}
+	// A dominated competitor: less improvement than top-1 at more energy
+	// than any selective point.
+	pts = append(pts, ParetoPoint{Name: "dominated-combo", Improvement: 1.0001, Energy: pts[len(pts)-1].Energy + 1})
+	frontier := ParetoFrontier(pts)
+	onFrontier := 0
+	for _, p := range frontier {
+		for _, n := range selNames {
+			if p.Name == n {
+				onFrontier++
+			}
+		}
+	}
+	if onFrontier == 0 {
+		t.Fatalf("no selective point on the frontier: %+v", frontier)
+	}
+}

@@ -1,0 +1,87 @@
+// Boundary-bit coverage for the space accessors on the two real core
+// spaces. The external test package lets this file import the cores (which
+// themselves import ff) without a cycle.
+package ff_test
+
+import (
+	"testing"
+
+	"clear/internal/ff"
+	"clear/internal/ino"
+	"clear/internal/ooo"
+)
+
+func spaces() map[string]*ff.Space {
+	return map[string]*ff.Space{
+		"InO": ino.Space(),
+		"OoO": ooo.Space(),
+	}
+}
+
+// TestNameOfBoundaryBits checks the first and last bit of every field
+// resolve to that field's name and unit — the sort.Search in NameOf is
+// exactly wrong-by-one territory.
+func TestNameOfBoundaryBits(t *testing.T) {
+	for label, s := range spaces() {
+		for _, name := range s.FieldNames() {
+			bits := s.BitsOf(name)
+			if len(bits) == 0 {
+				t.Fatalf("%s: BitsOf(%q) empty", label, name)
+			}
+			for _, bit := range []int{bits[0], bits[len(bits)-1]} {
+				got, unit := s.NameOf(bit)
+				if got != name {
+					t.Fatalf("%s: NameOf(%d) = %q, want %q", label, bit, got, name)
+				}
+				if unit == "" || s.UnitOf(bit) != unit {
+					t.Fatalf("%s: unit of bit %d inconsistent (%q vs %q)", label, bit, unit, s.UnitOf(bit))
+				}
+			}
+			// Fields tile the space contiguously: the bit list must be the
+			// dense range [bits[0], bits[0]+len).
+			for i, b := range bits {
+				if b != bits[0]+i {
+					t.Fatalf("%s: BitsOf(%q) not contiguous at %d", label, name, i)
+				}
+			}
+		}
+	}
+}
+
+// TestSpaceEdges checks the very first and very last bit of each space and
+// the out-of-range behavior of every accessor.
+func TestSpaceEdges(t *testing.T) {
+	for label, s := range spaces() {
+		n := s.NumBits()
+		if n == 0 {
+			t.Fatalf("%s: empty space", label)
+		}
+		if name, unit := s.NameOf(0); name == "" || unit == "" {
+			t.Fatalf("%s: NameOf(0) = (%q, %q)", label, name, unit)
+		}
+		if name, unit := s.NameOf(n - 1); name == "" || unit == "" {
+			t.Fatalf("%s: NameOf(%d) = (%q, %q)", label, n-1, name, unit)
+		}
+		for _, bad := range []int{-1, n, n + 1000} {
+			if name, unit := s.NameOf(bad); name != "" || unit != "" {
+				t.Fatalf("%s: NameOf(%d) = (%q, %q), want empty", label, bad, name, unit)
+			}
+			if u := s.UnitOf(bad); u != "" {
+				t.Fatalf("%s: UnitOf(%d) = %q, want empty", label, bad, u)
+			}
+		}
+		if bits := s.BitsOf("no-such-field"); bits != nil {
+			t.Fatalf("%s: BitsOf(no-such-field) = %v, want nil", label, bits)
+		}
+		// Every unit reported by Units() must own at least one bit.
+		counts := map[string]int{}
+		for bit := 0; bit < n; bit++ {
+			counts[s.UnitOf(bit)]++
+		}
+		for _, u := range s.Units() {
+			if counts[u] == 0 {
+				t.Fatalf("%s: unit %q owns no bits", label, u)
+			}
+		}
+	}
+}

@@ -91,7 +91,13 @@ func (in *Injector) RunOneFrom(c sim.Core, p *prog.Program, ref *Reference, bit,
 	hookFactory func(*prog.Program) sim.CommitHook) (Outcome, int) {
 	in.injTotal.Add(1)
 	if hookFactory != nil || ref == nil || ref.Interval <= 0 || len(ref.Ckpts) == 0 {
-		return RunOne(c, p, bit, cycle, nomCycles, hookFactory)
+		if in.Sink == nil {
+			return RunOne(c, p, bit, cycle, nomCycles, hookFactory)
+		}
+		// The single-bit cold path is the one-flip scenario's (identical
+		// stepping, flip, and classification), and the scenario path carries
+		// the attribution observation.
+		return runScenarioColdObs(in, c, p, Scenario{{Bit: bit}}, cycle, nomCycles, hookFactory)
 	}
 	idx := cycle / ref.Interval
 	if idx >= len(ref.Ckpts) {
@@ -101,6 +107,11 @@ func (in *Injector) RunOneFrom(c sim.Core, p *prog.Program, ref *Reference, bit,
 	c.SetCommitHook(nil)
 	for c.Cycles() < cycle && !c.Done() {
 		c.Step()
+	}
+	sinkOn := in.Sink != nil
+	var rec Record
+	if sinkOn {
+		rec = observe(c, bit, cycle)
 	}
 	c.State().FlipBit(bit)
 	budget := HangFactor * nomCycles
@@ -119,6 +130,9 @@ func (in *Injector) RunOneFrom(c sim.Core, p *prog.Program, ref *Reference, bit,
 			c.Matches(ref.Ckpts[i]) {
 			in.injPruned.Add(1)
 			in.pruneCycles.Observe(int64(c.Cycles() - cycle))
+			if sinkOn {
+				in.emit(rec, Vanished, -1)
+			}
 			return Vanished, -1
 		}
 	}
@@ -132,6 +146,9 @@ func (in *Injector) RunOneFrom(c sim.Core, p *prog.Program, ref *Reference, bit,
 	det := -1
 	if out == ED {
 		det = res.Steps
+	}
+	if sinkOn {
+		in.emit(rec, out, det)
 	}
 	return out, det
 }

@@ -30,6 +30,17 @@ type Injector struct {
 	// completed Campaign call (cache hits included, marked as such).
 	Tracer *obs.Tracer
 
+	// Sink, when non-nil, receives one attribution Record per injection
+	// performed through RunOneFrom/RunScenarioFrom/RunPairFrom — and
+	// therefore per campaign injection (see record.go). The sink observes
+	// only: outcomes, Result contents, and cache bytes are identical with
+	// or without one, and a nil Sink adds a single pointer check to the
+	// hot path. Sinks must be safe for concurrent use (campaign workers
+	// emit in parallel). Note that Campaign cache hits replay no
+	// injections and thus emit no records; attach the sink and use Run to
+	// (re)collect attribution.
+	Sink RecordSink
+
 	injTotal    obs.Counter   // injections performed (RunOneFrom entries)
 	injPruned   obs.Counter   // injections ended early by convergence pruning
 	pruneCycles obs.Histogram // cycles simulated post-injection before the prune hit

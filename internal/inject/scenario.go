@@ -47,6 +47,16 @@ func (sc Scenario) applyAt(c sim.Core, i, offset int) int {
 // unless the outcome is ED).
 func runScenarioCold(c sim.Core, p *prog.Program, sc Scenario, cycle, nomCycles int,
 	hookFactory func(*prog.Program) sim.CommitHook) (Outcome, int) {
+	return runScenarioColdObs(nil, c, p, sc, cycle, nomCycles, hookFactory)
+}
+
+// runScenarioColdObs is runScenarioCold with optional attribution: when in
+// carries a record sink, the in-flight occupancy is observed at the
+// injection cycle (right before the first flip lands) and one Record is
+// emitted after classification. The observation reads state the run was
+// about to read anyway, so outcomes are identical with or without it.
+func runScenarioColdObs(in *Injector, c sim.Core, p *prog.Program, sc Scenario, cycle, nomCycles int,
+	hookFactory func(*prog.Program) sim.CommitHook) (Outcome, int) {
 	maxDelay := sc.normalize()
 	c.Reset(p)
 	if hookFactory != nil {
@@ -56,6 +66,11 @@ func runScenarioCold(c sim.Core, p *prog.Program, sc Scenario, cycle, nomCycles 
 	}
 	for i := 0; i < cycle && !c.Done(); i++ {
 		c.Step()
+	}
+	sinkOn := in != nil && in.Sink != nil && len(sc) > 0
+	var rec Record
+	if sinkOn {
+		rec = observe(c, sc[0].Bit, cycle)
 	}
 	applied := sc.applyAt(c, 0, 0)
 	for off := 1; off <= maxDelay && applied < len(sc); off++ {
@@ -70,6 +85,9 @@ func runScenarioCold(c sim.Core, p *prog.Program, sc Scenario, cycle, nomCycles 
 	if out == ED {
 		det = res.Steps
 	}
+	if sinkOn {
+		in.emit(rec, out, det)
+	}
 	return out, det
 }
 
@@ -81,6 +99,10 @@ func runScenarioCold(c sim.Core, p *prog.Program, sc Scenario, cycle, nomCycles 
 // after every flip has been applied: a state matching the reference before
 // the last delayed flip lands is not provably Vanished, because the flip
 // still to come would diverge it again.
+//
+// When the injector carries a record sink, one attribution Record is
+// emitted per executed scenario, with Bit = the first-applied flip. An
+// empty scenario latches nothing and emits nothing.
 //
 // The package-level function counts against the default injection scope;
 // use the Injector method to attribute the injection to a specific scope.
@@ -97,7 +119,7 @@ func (in *Injector) RunScenarioFrom(c sim.Core, p *prog.Program, ref *Reference,
 		return Vanished, -1
 	}
 	if hookFactory != nil || ref == nil || ref.Interval <= 0 || len(ref.Ckpts) == 0 {
-		return runScenarioCold(c, p, sc, cycle, nomCycles, hookFactory)
+		return runScenarioColdObs(in, c, p, sc, cycle, nomCycles, hookFactory)
 	}
 	maxDelay := sc.normalize()
 	idx := cycle / ref.Interval
@@ -108,6 +130,11 @@ func (in *Injector) RunScenarioFrom(c sim.Core, p *prog.Program, ref *Reference,
 	c.SetCommitHook(nil)
 	for c.Cycles() < cycle && !c.Done() {
 		c.Step()
+	}
+	sinkOn := in.Sink != nil
+	var rec Record
+	if sinkOn {
+		rec = observe(c, sc[0].Bit, cycle)
 	}
 	applied := sc.applyAt(c, 0, 0)
 	for off := 1; off <= maxDelay && applied < len(sc); off++ {
@@ -132,6 +159,9 @@ func (in *Injector) RunScenarioFrom(c sim.Core, p *prog.Program, ref *Reference,
 			c.Matches(ref.Ckpts[i]) {
 			in.injPruned.Add(1)
 			in.pruneCycles.Observe(int64(c.Cycles() - cycle))
+			if sinkOn {
+				in.emit(rec, Vanished, -1)
+			}
 			return Vanished, -1
 		}
 	}
@@ -145,6 +175,9 @@ func (in *Injector) RunScenarioFrom(c sim.Core, p *prog.Program, ref *Reference,
 	det := -1
 	if out == ED {
 		det = res.Steps
+	}
+	if sinkOn {
+		in.emit(rec, out, det)
 	}
 	return out, det
 }

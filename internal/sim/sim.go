@@ -24,6 +24,19 @@ type CommitEvent struct {
 // prog.StatusDetected.
 type CommitHook func(ev CommitEvent) bool
 
+// InFlightInst describes one instruction occupying a pipeline structure at a
+// clock boundary: the structure's functional-unit name (matching the unit
+// strings of the core's ff.Space), the slot inside it (the entry index for
+// multi-entry structures such as a reorder buffer; -1 for single-occupant
+// stages), and the static instruction's PC. The fault-injection engine uses
+// these observations to attribute a strike to the instruction whose state it
+// corrupted (CFA-style root-cause analysis).
+type InFlightInst struct {
+	Unit string
+	Slot int
+	PC   uint32
+}
+
 // Checkpoint is a complete capture of a core's simulation state at a clock
 // boundary: flip-flop bits, architectural register file, data memory, the
 // output stream emitted so far, and the cycle/retired counters. Extra holds
@@ -81,4 +94,12 @@ type Core interface {
 	// identical to the checkpoint, without allocating. Two identical states
 	// provably share the same deterministic future.
 	Matches(ck *Checkpoint) bool
+	// InFlight appends one entry per instruction currently occupying a
+	// pipeline structure (stage latches, buffers, queues, rename mappings)
+	// to dst and returns the extended slice. It is a pure observation — the
+	// simulated future is unchanged — and reads the same packed flip-flop
+	// state as State(), so interpreter and compiled/mirror execution report
+	// identical occupancies. Callers pass a reusable dst to keep the
+	// injection hot path allocation-free.
+	InFlight(dst []InFlightInst) []InFlightInst
 }
