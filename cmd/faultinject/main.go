@@ -43,8 +43,11 @@ func main() {
 		"write a JSONL campaign trace to this file (empty = off)")
 	compiled := flag.Bool("compiled", true,
 		"execute programs as pre-translated threaded code (false = decode-switch interpreter; bit-identical escape hatch)")
+	packed := flag.Bool("packed", true,
+		"batch campaign injections into 64-way gangs with shared prefix replay (false = scalar loop; bit-identical escape hatch)")
 	flag.Parse()
 	tcode.SetEnabled(*compiled)
+	inject.Packed = *packed
 
 	var kind inject.CoreKind
 	switch strings.ToLower(*coreName) {

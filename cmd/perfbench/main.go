@@ -1,18 +1,22 @@
 // Command perfbench measures compiled (threaded-code) execution against the
-// decode-switch interpreter and writes the comparison as JSON — the
+// decode-switch interpreter — and the gang-packed campaign engine against
+// the scalar compiled loop — and writes the comparison as JSON: the
 // before/after evidence behind the repo's BENCH_*.json files and the CI
-// guard that compiled execution must not regress.
+// guard that neither compiled execution nor packed batching regresses.
 //
 // For each core × execution mode it reports nominal simulation speed
 // (cycles/sec over repeated fault-free runs) and injection-campaign
 // throughput (simulated cycles/sec through inject.Run, which bypasses the
 // on-disk campaign cache), plus the one-time threaded-code translation cost
-// of the benchmark program. The process exits nonzero if compiled campaign
-// throughput is below the interpreter's on any measured core — or fails to
-// strictly beat it on the out-of-order core — so CI can gate on the file it
-// uploads.
+// of the benchmark program. The interpreted and compiled cells run the
+// scalar campaign loop (preserving the BENCH_7 baseline definition); the
+// packed cell runs the compiled 64-way gang engine. The process exits
+// nonzero if compiled campaign throughput is below the interpreter's on any
+// measured core, fails to strictly beat it on the out-of-order core, or if
+// packed campaign throughput fails to strictly beat scalar compiled on
+// either core — so CI can gate on the file it uploads.
 //
-//	perfbench -bench gzip -samples 1 -out BENCH_7.json
+//	perfbench -bench gzip -samples 1 -out BENCH_8.json
 package main
 
 import (
@@ -40,8 +44,12 @@ type modeStats struct {
 type coreStats struct {
 	Interpreted     modeStats `json:"interpreted"`
 	Compiled        modeStats `json:"compiled"`
+	Packed          modeStats `json:"packed"`
 	CampaignSpeedup float64   `json:"campaign_speedup"`
 	NominalSpeedup  float64   `json:"nominal_speedup"`
+	// PackedSpeedup is packed vs scalar compiled campaign throughput — the
+	// gang engine's win over the PR 7 baseline on the same compiled cores.
+	PackedSpeedup float64 `json:"packed_speedup"`
 }
 
 type report struct {
@@ -56,7 +64,7 @@ func main() {
 	benchName := flag.String("bench", "gzip", "benchmark to measure")
 	samples := flag.Int("samples", 1, "injections per flip-flop for the campaign measurement")
 	nomReps := flag.Int("nom-reps", 20, "fault-free runs to average for nominal speed")
-	out := flag.String("out", "BENCH_7.json", "output JSON path (empty = stdout only)")
+	out := flag.String("out", "BENCH_8.json", "output JSON path (empty = stdout only)")
 	flag.Parse()
 
 	if *samples < 1 {
@@ -95,8 +103,9 @@ func main() {
 	failed := false
 	for _, kind := range []inject.CoreKind{inject.InO, inject.OoO} {
 		var cs coreStats
-		cs.Interpreted = measure(kind, p, b.Name, false, *samples, *nomReps)
-		cs.Compiled = measure(kind, p, b.Name, true, *samples, *nomReps)
+		cs.Interpreted = measure(kind, p, b.Name, false, false, *samples, *nomReps)
+		cs.Compiled = measure(kind, p, b.Name, true, false, *samples, *nomReps)
+		cs.Packed = measure(kind, p, b.Name, true, true, *samples, *nomReps)
 		// Guard the speedup denominators: a degenerate measurement (zero
 		// throughput) must fail the cell, not poison the report with NaN/Inf
 		// that json.MarshalIndent rejects.
@@ -107,13 +116,22 @@ func main() {
 			failed = true
 			continue
 		}
+		if cs.Compiled.CampaignCyclesPerSec <= 0 {
+			fmt.Fprintf(os.Stderr, "perfbench: degenerate compiled measurement on %s (campaign %.0f cycles/sec)\n",
+				kind, cs.Compiled.CampaignCyclesPerSec)
+			rep.Cores[kind.String()] = cs
+			failed = true
+			continue
+		}
 		cs.CampaignSpeedup = cs.Compiled.CampaignCyclesPerSec / cs.Interpreted.CampaignCyclesPerSec
 		cs.NominalSpeedup = cs.Compiled.NominalCyclesPerSec / cs.Interpreted.NominalCyclesPerSec
+		cs.PackedSpeedup = cs.Packed.CampaignCyclesPerSec / cs.Compiled.CampaignCyclesPerSec
 		rep.Cores[kind.String()] = cs
-		fmt.Printf("%s: nominal %.0f -> %.0f cycles/sec (%.2fx), campaign %.0f -> %.0f cycles/sec (%.2fx)\n",
+		fmt.Printf("%s: nominal %.0f -> %.0f cycles/sec (%.2fx), campaign %.0f -> %.0f cycles/sec (%.2fx), packed %.0f cycles/sec (%.2fx over compiled)\n",
 			kind,
 			cs.Interpreted.NominalCyclesPerSec, cs.Compiled.NominalCyclesPerSec, cs.NominalSpeedup,
-			cs.Interpreted.CampaignCyclesPerSec, cs.Compiled.CampaignCyclesPerSec, cs.CampaignSpeedup)
+			cs.Interpreted.CampaignCyclesPerSec, cs.Compiled.CampaignCyclesPerSec, cs.CampaignSpeedup,
+			cs.Packed.CampaignCyclesPerSec, cs.PackedSpeedup)
 		// Gate: compiled must not lose to the interpreter anywhere, and on
 		// the OoO core — where the unpacked mirror is supposed to pay off —
 		// it must strictly win.
@@ -124,6 +142,14 @@ func main() {
 		} else if kind == inject.OoO && cs.CampaignSpeedup <= 1.0 {
 			fmt.Fprintf(os.Stderr, "perfbench: compiled campaign did not beat interpreted on %s (%.2fx)\n",
 				kind, cs.CampaignSpeedup)
+			failed = true
+		}
+		// Gate: the packed gang engine must strictly beat the scalar
+		// compiled loop on both cores — anything less means the batching
+		// overhead ate its own win and the default engine choice is wrong.
+		if cs.PackedSpeedup <= 1.0 {
+			fmt.Fprintf(os.Stderr, "perfbench: packed campaign did not beat scalar compiled on %s (%.2fx)\n",
+				kind, cs.PackedSpeedup)
 			failed = true
 		}
 	}
@@ -149,12 +175,17 @@ func main() {
 
 // measure runs the nominal-speed and campaign measurements for one
 // (core, execution mode) cell. The campaign always computes (inject.Run,
-// never the disk cache), with a fixed seed so both modes simulate the
-// identical injection workload.
-func measure(kind inject.CoreKind, p *prog.Program, name string, compiled bool, samples, nomReps int) modeStats {
+// never the disk cache), with a fixed seed so all modes simulate the
+// identical injection workload. packed selects the gang-batched campaign
+// engine; the non-packed cells force the scalar loop so the interpreted and
+// compiled baselines keep the BENCH_7 definition.
+func measure(kind inject.CoreKind, p *prog.Program, name string, compiled, packed bool, samples, nomReps int) modeStats {
 	prior := tcode.Enabled()
 	tcode.SetEnabled(compiled)
 	defer tcode.SetEnabled(prior)
+	priorPacked := inject.Packed
+	inject.Packed = packed
+	defer func() { inject.Packed = priorPacked }()
 
 	var s modeStats
 	c := inject.NewCore(kind, p)

@@ -69,12 +69,22 @@ func UnitRanking(space *ff.Space, r *inject.Result, z float64) []UnitAVF {
 	out := make([]UnitAVF, 0, len(order))
 	for _, name := range order {
 		u := byUnit[name]
-		u.Vanished = u.N - u.Failures()
+		// FFStats re-aggregated with AddSat can saturate outcome counters
+		// independently of N, making the summed failures exceed the summed
+		// samples. Clamp failures to N so Vanished stays non-negative and
+		// every fraction (and its CI) stays in [0, 1] — the saturated input
+		// is already a conservative upper bound, and unsaturated inputs are
+		// unaffected.
+		failures := u.Failures()
+		if failures > u.N {
+			failures = u.N
+		}
+		u.Vanished = u.N - failures
 		if u.N > 0 {
 			n := float64(u.N)
-			u.AVF = float64(u.Failures()) / n
-			u.SDCFrac = float64(u.OMM) / n
-			u.DUEFrac = float64(u.UT+u.Hang+u.ED) / n
+			u.AVF = float64(failures) / n
+			u.SDCFrac = clampFrac(float64(u.OMM) / n)
+			u.DUEFrac = clampFrac(float64(u.UT+u.Hang+u.ED) / n)
 		}
 		u.CILo, u.CIHi = stats.BinomialCI(u.AVF, u.N, z)
 		out = append(out, *u)
@@ -86,6 +96,15 @@ func UnitRanking(space *ff.Space, r *inject.Result, z float64) []UnitAVF {
 		return out[i].Unit < out[j].Unit
 	})
 	return out
+}
+
+// clampFrac caps a tally-derived fraction at 1.0 (saturated counters can
+// push a numerator past its denominator; negative is impossible).
+func clampFrac(v float64) float64 {
+	if v > 1 {
+		return 1
+	}
+	return v
 }
 
 // InstContribution is one static instruction's share of a campaign's

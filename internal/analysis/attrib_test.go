@@ -20,6 +20,55 @@ func testSpace() *ff.Space {
 	return s
 }
 
+// TestUnitRankingSaturatedStats is the regression for saturated merged
+// inputs: FFStats re-aggregated via AddSat can carry outcome counters that
+// sum past N, which once drove Vanished negative and AVF beyond 1.0. The
+// ranking must clamp failures to the sample count and keep every fraction
+// and confidence bound inside [0, 1].
+func TestUnitRankingSaturatedStats(t *testing.T) {
+	s := testSpace()
+	r := &inject.Result{PerFF: make([]inject.FFStats, s.NumBits())}
+	// alpha bit 0: fully saturated counters — Failures() = 4*MaxUint16 >> N.
+	r.PerFF[0] = inject.FFStats{
+		N:    math.MaxUint16,
+		OMM:  math.MaxUint16,
+		UT:   math.MaxUint16,
+		Hang: math.MaxUint16,
+		ED:   math.MaxUint16,
+	}
+	// alpha bit 1: saturated OMM alone already exceeds the bit's samples.
+	r.PerFF[1] = inject.FFStats{N: 10, OMM: math.MaxUint16}
+	// beta: ordinary unsaturated tallies must be untouched by the clamp.
+	r.PerFF[4] = inject.FFStats{N: 8, OMM: 2}
+	ranked := UnitRanking(s, r, 1.96)
+	for _, u := range ranked {
+		if u.Vanished < 0 {
+			t.Fatalf("%s: Vanished = %d, want >= 0", u.Unit, u.Vanished)
+		}
+		if u.AVF < 0 || u.AVF > 1 {
+			t.Fatalf("%s: AVF = %v outside [0,1]", u.Unit, u.AVF)
+		}
+		if u.SDCFrac < 0 || u.SDCFrac > 1 || u.DUEFrac < 0 || u.DUEFrac > 1 {
+			t.Fatalf("%s: fractions (%v, %v) outside [0,1]", u.Unit, u.SDCFrac, u.DUEFrac)
+		}
+		if u.CILo < 0 || u.CIHi > 1 || u.CILo > u.CIHi {
+			t.Fatalf("%s: CI [%v, %v] outside [0,1]", u.Unit, u.CILo, u.CIHi)
+		}
+	}
+	if a := ranked[0]; a.Unit != "alpha" || a.AVF != 1.0 || a.Vanished != 0 {
+		t.Fatalf("saturated alpha = %+v; want AVF 1.0, Vanished 0", a)
+	}
+	var beta UnitAVF
+	for _, u := range ranked {
+		if u.Unit == "beta" {
+			beta = u
+		}
+	}
+	if beta.AVF != 0.25 || beta.Vanished != 6 || beta.SDCFrac != 0.25 {
+		t.Fatalf("unsaturated beta changed: %+v", beta)
+	}
+}
+
 func TestUnitRanking(t *testing.T) {
 	s := testSpace()
 	r := &inject.Result{PerFF: make([]inject.FFStats, s.NumBits())}

@@ -99,6 +99,13 @@ func (in *Injector) RunOneFrom(c sim.Core, p *prog.Program, ref *Reference, bit,
 		// the attribution observation.
 		return runScenarioColdObs(in, c, p, Scenario{{Bit: bit}}, cycle, nomCycles, hookFactory)
 	}
+	return in.runOneWarm(c, p, ref, bit, cycle, nomCycles)
+}
+
+// runOneWarm is the warm-started single-flip injection body shared by
+// RunOneFrom and the packed engine's spill replays (batch.go); the caller
+// has already tallied the injection and ruled out the cold fallback.
+func (in *Injector) runOneWarm(c sim.Core, p *prog.Program, ref *Reference, bit, cycle, nomCycles int) (Outcome, int) {
 	idx := cycle / ref.Interval
 	if idx >= len(ref.Ckpts) {
 		idx = len(ref.Ckpts) - 1
@@ -114,6 +121,22 @@ func (in *Injector) RunOneFrom(c sim.Core, p *prog.Program, ref *Reference, bit,
 		rec = observe(c, bit, cycle)
 	}
 	c.State().FlipBit(bit)
+	out, det := in.finishInjected(c, p, ref, cycle, nomCycles)
+	if sinkOn {
+		in.emit(rec, out, det)
+	}
+	return out, det
+}
+
+// finishInjected runs the already-injected remainder of a warm-started run:
+// step to each checkpoint boundary, end as Vanished the moment the state
+// reconverges with the fault-free reference, classify at completion or the
+// hang budget. It is the common tail of runOneWarm and runScenarioWarm, and
+// the packed engine continues evicted lanes through it — an evicted lane
+// holds exactly the state the scalar path would have at the same cycle
+// (lanes step the same deterministic core), so the continuation's boundary
+// checks and classification reproduce the scalar outcome bit for bit.
+func (in *Injector) finishInjected(c sim.Core, p *prog.Program, ref *Reference, cycle, nomCycles int) (Outcome, int) {
 	budget := HangFactor * nomCycles
 	for !c.Done() && c.Cycles() < budget {
 		next := (c.Cycles()/ref.Interval + 1) * ref.Interval
@@ -130,9 +153,6 @@ func (in *Injector) RunOneFrom(c sim.Core, p *prog.Program, ref *Reference, bit,
 			c.Matches(ref.Ckpts[i]) {
 			in.injPruned.Add(1)
 			in.pruneCycles.Observe(int64(c.Cycles() - cycle))
-			if sinkOn {
-				in.emit(rec, Vanished, -1)
-			}
 			return Vanished, -1
 		}
 	}
@@ -146,9 +166,6 @@ func (in *Injector) RunOneFrom(c sim.Core, p *prog.Program, ref *Reference, bit,
 	det := -1
 	if out == ED {
 		det = res.Steps
-	}
-	if sinkOn {
-		in.emit(rec, out, det)
 	}
 	return out, det
 }

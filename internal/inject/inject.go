@@ -253,7 +253,10 @@ const nomBudget = 8_000_000
 // Hookless campaigns amortize simulation work through the fault-free
 // reference trajectory (see CheckpointInterval and RunOneFrom): each
 // injection warm-starts from the nearest snapshot and prunes as soon as its
-// state reconverges with the reference. Results are bit-for-bit identical
+// state reconverges with the reference. Hookless, sinkless campaigns
+// further batch up to 64 same-window injections into gangs that share one
+// carrier replay of the window prefix and gang-prune reconverged lanes
+// every cycle (see Packed and batch.go). Results are bit-for-bit identical
 // to the from-reset path for a fixed Config.Seed.
 //
 // The package-level function counts against the default injection scope;
@@ -325,6 +328,18 @@ func (in *Injector) Run(cfg Config, p *prog.Program, hookFactory func(*prog.Prog
 		PerFF:     make([]FFStats, nBits),
 	}
 
+	// Eligible campaigns run on the packed (gang-batched) engine — see
+	// batch.go for the eligibility reasoning. Results are bit-identical to
+	// the scalar loop below, which remains both the -packed=false escape
+	// hatch and the path for hooked or sink-carrying campaigns.
+	if Packed && hookFactory == nil && in.Sink == nil &&
+		ref != nil && ref.Interval > 0 && len(ref.Ckpts) > 0 {
+		if in.runPacked(res, cfg, p, ref, nomCycles, nStrikes, strikes, ssb, model, env) {
+			in.addOutcomes(res.Totals)
+			return res, nil
+		}
+	}
+
 	workers := runtime.GOMAXPROCS(0)
 	if workers < 1 {
 		workers = 1
@@ -338,7 +353,11 @@ func (in *Injector) Run(cfg Config, p *prog.Program, hookFactory func(*prog.Prog
 		go func() {
 			defer wg.Done()
 			core := NewCore(cfg.Core, p)
-			local := make([]FFStats, nBits)
+			// Tallies are indexed by the compact strike population, not the
+			// full flip-flop space: a restricted model (uncore) strikes a
+			// few hundred bits and must not pay a full-space slice per
+			// worker. The merge below scatters back to PerFF's bit indexing.
+			local := make([]FFStats, nStrikes)
 			var totals Counts
 			var latSum, latN int64
 			for ch := range chunks {
@@ -362,7 +381,7 @@ func (in *Injector) Run(cfg Config, p *prog.Program, hookFactory func(*prog.Prog
 							latSum += int64(det - cycle)
 							latN++
 						}
-						st := &local[bit]
+						st := &local[i]
 						st.N++
 						switch out {
 						case OMM:
@@ -380,11 +399,15 @@ func (in *Injector) Run(cfg Config, p *prog.Program, hookFactory func(*prog.Prog
 			}
 			mu.Lock()
 			for i := range local {
-				res.PerFF[i].N += local[i].N
-				res.PerFF[i].OMM += local[i].OMM
-				res.PerFF[i].UT += local[i].UT
-				res.PerFF[i].Hang += local[i].Hang
-				res.PerFF[i].ED += local[i].ED
+				bit := i
+				if strikes != nil {
+					bit = strikes[i]
+				}
+				res.PerFF[bit].N += local[i].N
+				res.PerFF[bit].OMM += local[i].OMM
+				res.PerFF[bit].UT += local[i].UT
+				res.PerFF[bit].Hang += local[i].Hang
+				res.PerFF[bit].ED += local[i].ED
 			}
 			res.Totals.Merge(totals)
 			res.DetLatSum += latSum

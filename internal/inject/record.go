@@ -89,8 +89,12 @@ type injectionRecord struct {
 	Unit    string `json:"unit"`
 	Cycle   int    `json:"cycle"`
 	Outcome string `json:"outcome"`
-	DetLat  int    `json:"det_lat,omitempty"`
-	RootPC  int64  `json:"root_pc"` // -1 when no instruction occupied the structure
+	// det_lat is emitted unconditionally: an omitempty here once hid the
+	// DetLat 0 of an ED detection firing at the injection cycle, leaving
+	// consumers unable to tell "detected instantly" (0) from "not
+	// applicable" (-1, every non-ED record).
+	DetLat int   `json:"det_lat"`
+	RootPC int64 `json:"root_pc"` // -1 when no instruction occupied the structure
 }
 
 // TraceSink forwards records to an obs.Tracer as one JSONL line each,

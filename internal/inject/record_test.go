@@ -206,6 +206,35 @@ func TestTraceSinkSchema(t *testing.T) {
 	}
 }
 
+// TestTraceSinkZeroLatencyDetLat is the regression for the omitempty bug:
+// an ED detection firing at the injection cycle has DetLat 0, and the JSONL
+// export must still carry det_lat explicitly — dropping the field made an
+// instant detection indistinguishable from the -1 of non-ED records.
+func TestTraceSinkZeroLatencyDetLat(t *testing.T) {
+	var out bytes.Buffer
+	tr := obs.NewTracer(&out)
+	s := TraceSink{T: tr}
+	s.Record(Record{Bit: 3, Unit: "rob", Cycle: 21, Outcome: ED, DetLat: 0, RootPC: 9})
+	if err := tr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	line := bytes.TrimSpace(out.Bytes())
+	if !bytes.Contains(line, []byte(`"det_lat":0`)) {
+		t.Fatalf("zero-latency detection dropped det_lat from JSONL: %s", line)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal(line, &rec); err != nil {
+		t.Fatal(err)
+	}
+	v, present := rec["det_lat"]
+	if !present {
+		t.Fatalf("det_lat missing from decoded record: %v", rec)
+	}
+	if v.(float64) != 0 {
+		t.Fatalf("det_lat = %v, want 0", v)
+	}
+}
+
 // TestFFStatsAddSat checks saturation: merged counters clamp at the uint16
 // bound instead of wrapping (the counter stays a conservative upper bound).
 func TestFFStatsAddSat(t *testing.T) {

@@ -121,6 +121,15 @@ func (in *Injector) RunScenarioFrom(c sim.Core, p *prog.Program, ref *Reference,
 	if hookFactory != nil || ref == nil || ref.Interval <= 0 || len(ref.Ckpts) == 0 {
 		return runScenarioColdObs(in, c, p, sc, cycle, nomCycles, hookFactory)
 	}
+	return in.runScenarioWarm(c, p, ref, sc, cycle, nomCycles)
+}
+
+// runScenarioWarm is the warm-started scenario injection body shared by
+// RunScenarioFrom and the packed engine's spill replays (batch.go); the
+// caller has already tallied the injection, ruled out the cold fallback,
+// and ensured the scenario is non-empty.
+func (in *Injector) runScenarioWarm(c sim.Core, p *prog.Program, ref *Reference, sc Scenario,
+	cycle, nomCycles int) (Outcome, int) {
 	maxDelay := sc.normalize()
 	idx := cycle / ref.Interval
 	if idx >= len(ref.Ckpts) {
@@ -143,39 +152,7 @@ func (in *Injector) RunScenarioFrom(c sim.Core, p *prog.Program, ref *Reference,
 		}
 		applied += sc.applyAt(c, applied, off)
 	}
-	budget := HangFactor * nomCycles
-	for !c.Done() && c.Cycles() < budget {
-		next := (c.Cycles()/ref.Interval + 1) * ref.Interval
-		if next > budget {
-			next = budget
-		}
-		for !c.Done() && c.Cycles() < next {
-			c.Step()
-		}
-		if c.Done() {
-			break
-		}
-		if i := c.Cycles() / ref.Interval; c.Cycles()%ref.Interval == 0 && i < len(ref.Ckpts) &&
-			c.Matches(ref.Ckpts[i]) {
-			in.injPruned.Add(1)
-			in.pruneCycles.Observe(int64(c.Cycles() - cycle))
-			if sinkOn {
-				in.emit(rec, Vanished, -1)
-			}
-			return Vanished, -1
-		}
-	}
-	var res prog.Result
-	if c.Done() {
-		res = c.Result()
-	} else {
-		res = prog.Result{Status: prog.StatusMaxSteps, Output: c.Output(), Steps: c.Cycles()}
-	}
-	out := Classify(p, res)
-	det := -1
-	if out == ED {
-		det = res.Steps
-	}
+	out, det := in.finishInjected(c, p, ref, cycle, nomCycles)
 	if sinkOn {
 		in.emit(rec, out, det)
 	}

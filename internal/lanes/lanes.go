@@ -1,0 +1,47 @@
+// Package lanes provides the 64-lane occupancy bookkeeping of the packed
+// fault-injection engine (internal/inject, DESIGN.md §14): a gang batches up
+// to 64 fault scenarios of one checkpoint window, and a Mask tracks which of
+// the gang's lane slots currently hold a live (undecided) scenario. The
+// operations are thin wrappers over single-word bit arithmetic so the
+// engine's inner loop — fork into the lowest free slot, iterate the live
+// set, retire a decided lane — stays branch-light and allocation-free.
+package lanes
+
+import "math/bits"
+
+// Width is the gang width: the number of fault scenarios one packed batch
+// can carry, matching the lanes of one machine word.
+const Width = 64
+
+// Mask is a 64-lane occupancy set; bit i set means lane slot i is live.
+type Mask uint64
+
+// Has reports whether lane slot i is set.
+func (m Mask) Has(i int) bool { return m>>uint(i)&1 != 0 }
+
+// Set marks lane slot i live.
+func (m *Mask) Set(i int) { *m |= 1 << uint(i) }
+
+// Clear retires lane slot i.
+func (m *Mask) Clear(i int) { *m &^= 1 << uint(i) }
+
+// Empty reports whether no lane is live.
+func (m Mask) Empty() bool { return m == 0 }
+
+// Full reports whether every lane slot is live.
+func (m Mask) Full() bool { return m == ^Mask(0) }
+
+// Count returns the number of live lanes.
+func (m Mask) Count() int { return bits.OnesCount64(uint64(m)) }
+
+// FirstFree returns the lowest free lane slot, or Width when the mask is
+// full.
+func (m Mask) FirstFree() int { return bits.TrailingZeros64(^uint64(m)) }
+
+// PopLowest clears and returns the lowest live lane slot; it must not be
+// called on an empty mask (it would return Width and clear nothing).
+func (m *Mask) PopLowest() int {
+	i := bits.TrailingZeros64(uint64(*m))
+	*m &= *m - 1
+	return i
+}

@@ -1,0 +1,73 @@
+package lanes
+
+import "testing"
+
+func TestMaskBasics(t *testing.T) {
+	var m Mask
+	if !m.Empty() || m.Count() != 0 || m.Full() {
+		t.Fatalf("zero mask: Empty=%v Count=%d Full=%v", m.Empty(), m.Count(), m.Full())
+	}
+	if got := m.FirstFree(); got != 0 {
+		t.Fatalf("FirstFree on empty = %d, want 0", got)
+	}
+	m.Set(0)
+	m.Set(5)
+	m.Set(63)
+	if m.Empty() || m.Count() != 3 {
+		t.Fatalf("after 3 sets: Empty=%v Count=%d", m.Empty(), m.Count())
+	}
+	for _, i := range []int{0, 5, 63} {
+		if !m.Has(i) {
+			t.Fatalf("Has(%d) = false after Set", i)
+		}
+	}
+	if m.Has(1) || m.Has(62) {
+		t.Fatal("Has reports unset slots")
+	}
+	if got := m.FirstFree(); got != 1 {
+		t.Fatalf("FirstFree = %d, want 1", got)
+	}
+	m.Clear(5)
+	if m.Has(5) || m.Count() != 2 {
+		t.Fatalf("Clear(5): Has=%v Count=%d", m.Has(5), m.Count())
+	}
+}
+
+func TestMaskPopLowest(t *testing.T) {
+	var m Mask
+	for _, i := range []int{3, 17, 63} {
+		m.Set(i)
+	}
+	var got []int
+	for !m.Empty() {
+		got = append(got, m.PopLowest())
+	}
+	want := []int{3, 17, 63}
+	if len(got) != len(want) {
+		t.Fatalf("PopLowest drained %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PopLowest order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMaskFullAndFirstFree(t *testing.T) {
+	var m Mask
+	for i := 0; i < Width; i++ {
+		if m.Full() {
+			t.Fatalf("Full at %d live lanes", i)
+		}
+		if got := m.FirstFree(); got != i {
+			t.Fatalf("FirstFree = %d with slots [0,%d) set", got, i)
+		}
+		m.Set(i)
+	}
+	if !m.Full() || m.Count() != Width {
+		t.Fatalf("all set: Full=%v Count=%d", m.Full(), m.Count())
+	}
+	if got := m.FirstFree(); got != Width {
+		t.Fatalf("FirstFree on full = %d, want %d", got, Width)
+	}
+}

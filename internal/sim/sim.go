@@ -103,3 +103,44 @@ type Core interface {
 	// injection hot path allocation-free.
 	InFlight(dst []InFlightInst) []InFlightInst
 }
+
+// Divergence classes reported by GangCore.DiffFrom, ordered by detection
+// priority: a diff is classified by the first group that differs, so a
+// DiffState result says nothing about the aux group. A zero result means
+// every group — control, latch/register state, and side state — is
+// bit-for-bit identical, which carries the same guarantee as Matches: two
+// identical states of a deterministic core share the same future.
+const (
+	// DiffCtl: execution has left the reference trajectory's control path —
+	// done flag, status, cycle/retired counters, or the fetch PC differ.
+	DiffCtl uint8 = 1 << iota
+	// DiffState: flip-flop (latch mirror) or register-file state differs.
+	DiffState
+	// DiffAux: memory, output stream, or core-specific SRAM side state
+	// (predictors, cache tags) differs while control and latch state match.
+	DiffAux
+)
+
+// GangCore is the optional capability the packed fault-injection engine
+// (internal/inject, DESIGN.md §14) needs from a core: zero-allocation
+// core-to-core state cloning to fork an injection lane off a fault-free
+// carrier, and a cheap classified comparison against that carrier to detect
+// reconvergence (gang pruning) and control-flow divergence (lane eviction)
+// every cycle instead of only at checkpoint boundaries.
+type GangCore interface {
+	Core
+
+	// CopyStateFrom makes this core's simulation state bit-for-bit
+	// identical to src — the core-to-core analogue of Restore(src.Snapshot())
+	// without allocating a Checkpoint. Both cores must be of the same
+	// design and bound to the same program; like Restore, the installed
+	// commit hook is left untouched.
+	CopyStateFrom(src Core)
+
+	// DiffFrom compares this core's full state against ref and returns the
+	// first divergence class found (checked in DiffCtl, DiffState, DiffAux
+	// order), or 0 when the states are identical. Like Matches it may
+	// materialize the packed flip-flop view of either core but never
+	// changes the simulated future.
+	DiffFrom(ref Core) uint8
+}
